@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlpa/internal/bbv"
+	"mlpa/internal/trace"
+)
+
+func TestObtainTraceFine(t *testing.T) {
+	tr, err := obtainTrace("gzip", "", "tiny", "fine", bbv.DefaultDims, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kind != "fixed" || len(tr.Intervals) < 10 {
+		t.Errorf("trace kind=%v intervals=%d", tr.Kind, len(tr.Intervals))
+	}
+}
+
+func TestObtainTraceCoarse(t *testing.T) {
+	tr, err := obtainTrace("gzip", "", "tiny", "coarse", bbv.DefaultDims, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kind != "iteration" {
+		t.Errorf("trace kind = %v", tr.Kind)
+	}
+}
+
+func TestObtainTraceFromFile(t *testing.T) {
+	tr, err := obtainTrace("swim", "", "tiny", "fine", 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.trc")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obtainTrace("", path, "", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Intervals) != len(tr.Intervals) {
+		t.Errorf("loaded %d intervals, want %d", len(back.Intervals), len(tr.Intervals))
+	}
+}
+
+func TestObtainTraceErrors(t *testing.T) {
+	if _, err := obtainTrace("", "", "tiny", "fine", 15, 1); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := obtainTrace("bogus", "", "tiny", "fine", 15, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := obtainTrace("gzip", "", "huge", "fine", 15, 1); err == nil {
+		t.Error("unknown size accepted")
+	}
+	if _, err := obtainTrace("gzip", "", "tiny", "diagonal", 15, 1); err == nil {
+		t.Error("unknown granularity accepted")
+	}
+}

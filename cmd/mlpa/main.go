@@ -1,0 +1,544 @@
+// Command mlpa regenerates the paper's evaluation artifacts:
+//
+//	mlpa fig1   [-bench lucas]      Figure 1 phase trajectories
+//	mlpa fig3                       Figure 3: COASTS speedup over SimPoint
+//	mlpa fig4                       Figure 4: multi-level speedup over SimPoint
+//	mlpa table2 [-config A,B]       Table II: metric deviations
+//	mlpa table3                     Table III: simulation-point statistics
+//	mlpa points [-bench name]       selected simulation points per method
+//	mlpa motivation                 Section III coarse-phase analysis
+//	mlpa ablation [-bench name]     design-choice sweeps (granularity, Kmax, ...)
+//	mlpa checkpoint [-bench -method -dir] checkpointed-point simulation flow
+//	mlpa all                        figures and tables above
+//
+// Shared flags: -size tiny|small|ref, -seed N, -benchmarks a,b,c,
+// -rates simplescalar|measured.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mlpa/internal/bench"
+	"mlpa/internal/config"
+	"mlpa/internal/cpu"
+	"mlpa/internal/experiments"
+	"mlpa/internal/pipeline"
+	"mlpa/internal/report"
+	"mlpa/internal/sampling"
+	"mlpa/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mlpa:", err)
+		os.Exit(1)
+	}
+}
+
+type flags struct {
+	size       string
+	seed       int64
+	benchmarks string
+	configs    string
+	benchmark  string
+	rates      string
+	method     string
+	dir        string
+}
+
+func parseFlags(cmd string, args []string) (*flags, error) {
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	f := &flags{}
+	fs.StringVar(&f.size, "size", "small", "suite scale: tiny, small or ref")
+	fs.Int64Var(&f.seed, "seed", 1, "random seed for projection and clustering")
+	fs.StringVar(&f.benchmarks, "benchmarks", "", "comma-separated benchmark subset (default: all)")
+	fs.StringVar(&f.configs, "config", "A,B", "Table I configurations for table2")
+	fs.StringVar(&f.benchmark, "bench", "lucas", "benchmark for fig1/points")
+	fs.StringVar(&f.rates, "rates", "simplescalar", "time model: simplescalar or measured")
+	fs.StringVar(&f.method, "method", "multilevel", "sampling method for checkpoint: coasts, simpoint or multilevel")
+	fs.StringVar(&f.dir, "dir", "", "directory to persist checkpoint files (checkpoint command)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *flags) suiteSize() (bench.Size, error) {
+	switch f.size {
+	case "tiny":
+		return bench.SizeTiny, nil
+	case "small":
+		return bench.SizeSmall, nil
+	case "ref":
+		return bench.SizeRef, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", f.size)
+}
+
+func (f *flags) options() (experiments.Options, error) {
+	size, err := f.suiteSize()
+	if err != nil {
+		return experiments.Options{}, err
+	}
+	o := experiments.Options{Size: size, Seed: f.seed}
+	if f.benchmarks != "" {
+		o.Benchmarks = strings.Split(f.benchmarks, ",")
+	}
+	switch f.rates {
+	case "", "simplescalar":
+		o.TimeModel = sampling.SimpleScalarRates
+	case "measured":
+		spec, err := bench.ByName("gzip")
+		if err != nil {
+			return o, err
+		}
+		p, err := spec.Program(size)
+		if err != nil {
+			return o, err
+		}
+		tm, err := pipeline.MeasuredRates(p, config.BaseA(), 0)
+		if err != nil {
+			return o, err
+		}
+		fmt.Printf("measured rates: detailed %.2f M inst/s, functional %.2f M inst/s\n",
+			tm.DetailedRate/1e6, tm.FunctionalRate/1e6)
+		o.TimeModel = tm
+	default:
+		return o, fmt.Errorf("unknown rates %q", f.rates)
+	}
+	return o, nil
+}
+
+func (f *flags) cpuConfigs() ([]cpu.Config, error) {
+	var out []cpu.Config
+	for _, name := range strings.Split(f.configs, ",") {
+		cfg, err := config.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mlpa <fig1|fig3|fig4|table2|table3|points|motivation|all> [flags]")
+	}
+	cmd := args[0]
+	f, err := parseFlags(cmd, args[1:])
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "fig1":
+		return runFig1(f)
+	case "fig3", "fig4", "table3":
+		return withStudy(f, func(st *experiments.Study) error {
+			switch cmd {
+			case "fig3":
+				return printSpeedups(st.Fig3())
+			case "fig4":
+				return printSpeedups(st.Fig4())
+			default:
+				return printTable3(st)
+			}
+		})
+	case "table2":
+		return withStudy(f, func(st *experiments.Study) error { return printTable2(f, st) })
+	case "points":
+		return runPoints(f)
+	case "motivation":
+		return runMotivation(f)
+	case "ablation":
+		return runAblations(f)
+	case "checkpoint":
+		return runCheckpoint(f)
+	case "all":
+		if err := runFig1(f); err != nil {
+			return err
+		}
+		if err := runMotivation(f); err != nil {
+			return err
+		}
+		return withStudy(f, func(st *experiments.Study) error {
+			if err := printSpeedups(st.Fig3()); err != nil {
+				return err
+			}
+			if err := printSpeedups(st.Fig4()); err != nil {
+				return err
+			}
+			if err := printTable3(st); err != nil {
+				return err
+			}
+			return printTable2(f, st)
+		})
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+func withStudy(f *flags, fn func(*experiments.Study) error) error {
+	o, err := f.options()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selecting simulation points (size=%s, seed=%d)...\n", f.size, f.seed)
+	st, err := experiments.NewStudy(o)
+	if err != nil {
+		return err
+	}
+	return fn(st)
+}
+
+func printSpeedups(res *experiments.SpeedupResult, err error) error {
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(res.Rows)+1)
+	vals := make([]float64, 0, len(res.Rows)+1)
+	for _, r := range res.Rows {
+		names = append(names, r.Benchmark)
+		vals = append(vals, r.Speedup)
+	}
+	names = append(names, "GEOMEAN")
+	vals = append(vals, res.GeoMean)
+	fmt.Println()
+	fmt.Print(report.BarChart(res.Title, names, vals, "x", 50))
+	return nil
+}
+
+func printTable3(st *experiments.Study) error {
+	rows, err := st.Table3()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("\nTable III: simulation points statistics",
+		"Algorithm", "Mean Interval Size (inst)", "Mean Sample Number", "Mean Detail", "Mean Functional")
+	for _, r := range rows {
+		t.AddRow(r.Method,
+			fmt.Sprintf("%.0f", r.MeanIntervalSize),
+			fmt.Sprintf("%.1f", r.MeanSampleNumber),
+			stats.FormatPct(r.MeanDetailPct),
+			stats.FormatPct(r.MeanFunctionalPct))
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func printTable2(f *flags, st *experiments.Study) error {
+	configs, err := f.cpuConfigs()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nrunning ground-truth and sampled simulations for Table II...")
+	res, err := st.Table2(configs)
+	if err != nil {
+		return err
+	}
+	headers := []string{"Metric", "Method"}
+	for _, cfg := range configs {
+		headers = append(headers, "Config "+cfg.Name+" AVG", "Config "+cfg.Name+" Worst")
+	}
+	t := report.NewTable("\nTable II: deviation comparison", headers...)
+	for _, metric := range res.Metrics {
+		for _, method := range experiments.Methods() {
+			row := []string{metric, method}
+			for _, cfg := range configs {
+				cell := res.Cells[metric][method][cfg.Name]
+				row = append(row, stats.FormatPct(cell.Avg),
+					fmt.Sprintf("%s (%s)", stats.FormatPct(cell.Worst), cell.WorstBench))
+			}
+			t.AddRow(row...)
+		}
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func runFig1(f *flags) error {
+	o, err := f.options()
+	if err != nil {
+		return err
+	}
+	res, err := experiments.Fig1(o, f.benchmark)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nFig. 1: first principal component of BBVs per interval, %s\n\n", res.Benchmark)
+	fmt.Print(report.LinePlot(
+		fmt.Sprintf("(a) fine-grained, %d fixed-length intervals (roughness %.3f)",
+			len(res.Fine), experiments.Roughness(res.Fine)),
+		res.Fine, res.FineMarks, 72, 14))
+	fmt.Println()
+	fmt.Print(report.LinePlot(
+		fmt.Sprintf("(b) coarse-grained, %d iteration intervals (roughness %.3f)",
+			len(res.Coarse), experiments.Roughness(res.Coarse)),
+		res.Coarse, res.CoarseMarks, 72, 14))
+	return nil
+}
+
+func runPoints(f *flags) error {
+	o, err := f.options()
+	if err != nil {
+		return err
+	}
+	o.Benchmarks = []string{f.benchmark}
+	st, err := experiments.NewStudy(o)
+	if err != nil {
+		return err
+	}
+	pl := st.Plans[0]
+	for _, method := range experiments.Methods() {
+		plan, err := pl.ByMethod(method)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(
+			fmt.Sprintf("\n%s: %s simulation points (total %d instructions)", f.benchmark, method, plan.TotalInsts),
+			"Start", "End", "Length", "Weight", "Level")
+		for _, pt := range plan.Points {
+			t.AddRow(
+				fmt.Sprintf("%d", pt.Start),
+				fmt.Sprintf("%d", pt.End),
+				fmt.Sprintf("%d", pt.Len()),
+				fmt.Sprintf("%.4f", pt.Weight),
+				fmt.Sprintf("%d", pt.Level))
+		}
+		t.AddRow("detail", stats.FormatPct(plan.DetailedFraction()),
+			"functional", stats.FormatPct(plan.FunctionalFraction()),
+			fmt.Sprintf("last@%s", stats.FormatPct(plan.LastPosition())))
+		fmt.Print(t.String())
+	}
+	return nil
+}
+
+// runMotivation reproduces the Section III analysis: coarse-grained
+// phase counts and the position of the last coarse phase, per
+// benchmark (paper: average phase count 3, average position ~17%).
+func runMotivation(f *flags) error {
+	o, err := f.options()
+	if err != nil {
+		return err
+	}
+	o.CoarseKmax = 8 // analysis uses a freer clustering than COASTS's 3
+	st, err := experiments.NewStudy(o)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("\nSection III motivation: coarse-grained phase analysis",
+		"Benchmark", "Coarse Phases", "Last Point Position", "Scripted Phases", "Scripted Position")
+	var phases, pos []float64
+	for _, pl := range st.Plans {
+		k := len(pl.Coasts.Points)
+		p := pl.Coasts.LastPosition()
+		phases = append(phases, float64(k))
+		pos = append(pos, p)
+		t.AddRow(pl.Spec.Name,
+			fmt.Sprintf("%d", k),
+			stats.FormatPct(p),
+			fmt.Sprintf("%d", pl.Spec.Phases),
+			stats.FormatPct(pl.Spec.LastPhasePos))
+	}
+	t.AddRow("AVERAGE", fmt.Sprintf("%.1f", stats.ArithMean(phases)), stats.FormatPct(stats.ArithMean(pos)))
+	fmt.Print(t.String())
+	return nil
+}
+
+// runAblations prints the design-choice sweeps: interval granularity
+// (the Section III tradeoff), coarse Kmax, the re-sampling threshold,
+// the projection dimension, and the cold-start policy.
+func runAblations(f *flags) error {
+	o, err := f.options()
+	if err != nil {
+		return err
+	}
+	benchName := f.benchmark
+
+	gran, err := experiments.GranularitySweep(o, benchName, []float64{0.25, 0.5, 1, 2, 4, 8, 16, 37.5})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("\nAblation: interval granularity on %s (Section III tradeoff)", benchName),
+		"Interval", "Points", "Detail", "Functional", "Last Pos", "Modeled Time")
+	for _, r := range gran {
+		t.AddRow(fmt.Sprintf("%d", r.IntervalLen),
+			fmt.Sprintf("%d", r.Points),
+			stats.FormatPct(r.DetailPct),
+			stats.FormatPct(r.FunctionalPct),
+			stats.FormatPct(r.LastPosition),
+			fmt.Sprintf("%.2fs", r.ModeledTime))
+	}
+	fmt.Print(t.String())
+
+	kmax, err := experiments.CoarseKmaxSweep(o, benchName, []int{1, 2, 3, 4, 6, 8})
+	if err != nil {
+		return err
+	}
+	t = report.NewTable(
+		fmt.Sprintf("\nAblation: COASTS Kmax on %s (paper default 3)", benchName),
+		"Kmax", "Points", "Detail", "Functional", "Last Pos", "Modeled Time")
+	for _, r := range kmax {
+		t.AddRow(fmt.Sprintf("%d", r.Kmax),
+			fmt.Sprintf("%d", r.Points),
+			stats.FormatPct(r.DetailPct),
+			stats.FormatPct(r.FunctionalPct),
+			stats.FormatPct(r.LastPosition),
+			fmt.Sprintf("%.2fs", r.ModeledTime))
+	}
+	fmt.Print(t.String())
+
+	thr, err := experiments.ThresholdSweep(o, benchName, []float64{0.25, 0.5, 1, 2, 4, 1000})
+	if err != nil {
+		return err
+	}
+	t = report.NewTable(
+		fmt.Sprintf("\nAblation: multi-level re-sampling threshold on %s (paper rule: fine interval x Kmax)", benchName),
+		"Threshold", "Points", "Resampled", "Detail", "Functional", "Modeled Time")
+	for _, r := range thr {
+		t.AddRow(fmt.Sprintf("%d", r.Threshold),
+			fmt.Sprintf("%d", r.Points),
+			fmt.Sprintf("%d", r.Resampled),
+			stats.FormatPct(r.DetailPct),
+			stats.FormatPct(r.FunctionalPct),
+			fmt.Sprintf("%.2fs", r.ModeledTime))
+	}
+	fmt.Print(t.String())
+
+	dims, err := experiments.ProjectionDimSweep(o, benchName, []int{2, 4, 8, 15, 32})
+	if err != nil {
+		return err
+	}
+	t = report.NewTable(
+		fmt.Sprintf("\nAblation: BBV projection dimension on %s (SimPoint default 15)", benchName),
+		"Dims", "Points", "CPI Deviation")
+	for _, r := range dims {
+		t.AddRow(fmt.Sprintf("%d", r.Dims),
+			fmt.Sprintf("%d", r.Points),
+			stats.FormatPct(r.CPIDev))
+	}
+	fmt.Print(t.String())
+
+	cold, err := experiments.ColdStartAblation(o, benchName)
+	if err != nil {
+		return err
+	}
+	t = report.NewTable(
+		fmt.Sprintf("\nAblation: cold-start vs warmed point execution on %s (see DESIGN.md)", benchName),
+		"Method", "Cold CPI Dev", "Warmed CPI Dev")
+	for _, r := range cold {
+		t.AddRow(r.Method, stats.FormatPct(r.ColdDev), stats.FormatPct(r.WarmDev))
+	}
+	fmt.Print(t.String())
+
+	early, err := experiments.EarlySPComparison(o, []string{"gzip", "swim", "crafty", "equake"})
+	if err != nil {
+		return err
+	}
+	t = report.NewTable(
+		"\nAblation: EarlySP (Perelman et al.) vs standard SimPoint vs COASTS (functional fraction)",
+		"Benchmark", "Standard", "EarlySP", "COASTS", "EarlySP Speedup", "COASTS Speedup")
+	for _, r := range early {
+		t.AddRow(r.Benchmark,
+			stats.FormatPct(r.StandardFunctional),
+			stats.FormatPct(r.EarlySPFunctional),
+			stats.FormatPct(r.CoastsFunctional),
+			fmt.Sprintf("%.2fx", r.EarlySPSpeedup),
+			fmt.Sprintf("%.2fx", r.CoastsSpeedup))
+	}
+	fmt.Print(t.String())
+	return printVLI(o)
+}
+
+// printVLI renders the VLI-vs-fixed comparison appended to ablations.
+func printVLI(o experiments.Options) error {
+	rows, err := experiments.VLIComparison(o, []string{"gzip", "swim", "crafty", "equake"})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		"\nAblation: variable-length intervals vs fixed SimPoint (paper: VLI gains nothing)",
+		"Benchmark", "VLI Points", "Fixed Points", "Mean VLI Interval", "Time Ratio")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark,
+			fmt.Sprintf("%d", r.VLIPoints),
+			fmt.Sprintf("%d", r.FixedPoints),
+			fmt.Sprintf("%.0f", r.MeanVLILength),
+			fmt.Sprintf("%.2fx", r.TimeRatio))
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+// runCheckpoint demonstrates the checkpointed-simulation flow: select
+// a plan, snapshot the architectural state before every point (one
+// functional pass), optionally persist the snapshots, then replay the
+// points from the snapshots under the chosen configuration.
+func runCheckpoint(f *flags) error {
+	o, err := f.options()
+	if err != nil {
+		return err
+	}
+	o.Benchmarks = []string{f.benchmark}
+	st, err := experiments.NewStudy(o)
+	if err != nil {
+		return err
+	}
+	plan, err := st.Plans[0].ByMethod(f.method)
+	if err != nil {
+		return err
+	}
+	spec := st.Plans[0].Spec
+	p, err := spec.Program(o.Size)
+	if err != nil {
+		return err
+	}
+
+	ck, err := pipeline.MakeCheckpoints(p, plan)
+	if err != nil {
+		return err
+	}
+	var total int
+	for _, s := range ck.States {
+		total += len(s)
+	}
+	fmt.Printf("created %d checkpoints for %s/%s (%.1f KiB total)\n",
+		len(ck.States), f.benchmark, f.method, float64(total)/1024)
+
+	if f.dir != "" {
+		if err := os.MkdirAll(f.dir, 0o755); err != nil {
+			return err
+		}
+		for i, state := range ck.States {
+			name := filepath.Join(f.dir, fmt.Sprintf("%s_%s_point%03d.ckpt", f.benchmark, f.method, i))
+			if err := os.WriteFile(name, state, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote checkpoint files to %s\n", f.dir)
+	}
+
+	for _, cfgName := range strings.Split(f.configs, ",") {
+		cfg, err := config.ByName(strings.TrimSpace(cfgName))
+		if err != nil {
+			return err
+		}
+		est, err := pipeline.ExecuteFromCheckpoints(p, ck, cfg)
+		if err != nil {
+			return err
+		}
+		truth, _, err := pipeline.FullDetailed(p, cfg)
+		if err != nil {
+			return err
+		}
+		cpiDev, l1Dev, l2Dev := pipeline.Deviations(est, truth)
+		fmt.Printf("config %s: CPI est %.4f (true %.4f, %s off), L1 %s off, L2 %s off, wall %v\n",
+			cfg.Name, est.CPI, truth.CPI(), stats.FormatPct(cpiDev),
+			stats.FormatPct(l1Dev), stats.FormatPct(l2Dev), est.Wall().Round(1e6))
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// The CLI tests exercise each subcommand end-to-end at tiny scale with
+// a benchmark subset, writing to the real stdout (discarded by `go
+// test` unless -v).
+
+func TestMain(m *testing.M) {
+	// Silence subcommand output during tests.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err == nil {
+		os.Stdout = devnull
+	}
+	code := m.Run()
+	os.Stdout = old
+	os.Exit(code)
+}
+
+func TestRunUsage(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no-args run succeeded")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command succeeded")
+	}
+	if err := run([]string{"fig3", "-size", "huge"}); err == nil {
+		t.Error("bad size accepted")
+	}
+	if err := run([]string{"fig3", "-size", "tiny", "-rates", "warp"}); err == nil {
+		t.Error("bad rates accepted")
+	}
+	if err := run([]string{"table2", "-size", "tiny", "-benchmarks", "gzip", "-config", "Z"}); err == nil {
+		t.Error("bad config accepted")
+	}
+	if err := run([]string{"fig1", "-size", "tiny", "-bench", "bogus"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunFig1(t *testing.T) {
+	if err := run([]string{"fig1", "-size", "tiny", "-bench", "lucas"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig3AndFig4(t *testing.T) {
+	for _, cmd := range []string{"fig3", "fig4", "table3"} {
+		if err := run([]string{cmd, "-size", "tiny", "-benchmarks", "gzip,swim"}); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	if err := run([]string{"table2", "-size", "tiny", "-benchmarks", "gzip", "-config", "A"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPoints(t *testing.T) {
+	if err := run([]string{"points", "-size", "tiny", "-bench", "swim"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMotivation(t *testing.T) {
+	if err := run([]string{"motivation", "-size", "tiny", "-benchmarks", "gzip,art"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMeasuredRates(t *testing.T) {
+	if err := run([]string{"fig3", "-size", "tiny", "-benchmarks", "gzip", "-rates", "measured"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"checkpoint", "-size", "tiny", "-bench", "crafty", "-method", "coasts", "-config", "A", "-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Error("no checkpoint files written")
+	}
+	if err := run([]string{"checkpoint", "-size", "tiny", "-bench", "crafty", "-method", "bogus"}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}

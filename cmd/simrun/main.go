@@ -1,0 +1,157 @@
+// Command simrun is the sim-outorder stand-in: it runs one suite
+// benchmark (or an assembly file) under the functional emulator or the
+// detailed out-of-order model and prints execution statistics.
+//
+//	simrun -bench gzip -size small -mode detailed -config A
+//	simrun -file prog.s -mode functional
+//	simrun -bench swim -mode warm          # cache/branch stats only (sim-cache)
+//	simrun -bench gcc -mode detailed -max 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlpa/internal/bench"
+	"mlpa/internal/config"
+	"mlpa/internal/cpu"
+	"mlpa/internal/emu"
+	"mlpa/internal/prog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		benchName = flag.String("bench", "", "suite benchmark to run")
+		file      = flag.String("file", "", "assembly file to run instead of a suite benchmark")
+		size      = flag.String("size", "small", "suite scale: tiny, small or ref")
+		mode      = flag.String("mode", "detailed", "functional, detailed, or warm (cache/branch stats without timing)")
+		cfgName   = flag.String("config", "A", "machine configuration (A or B) for detailed mode")
+		maxInsts  = flag.Uint64("max", 0, "instruction budget (0 = run to completion)")
+	)
+	flag.Parse()
+
+	p, err := loadProgram(*benchName, *file, *size)
+	if err != nil {
+		return err
+	}
+	m := emu.New(p, 0)
+
+	switch *mode {
+	case "functional":
+		t0 := time.Now()
+		budget := *maxInsts
+		if budget == 0 {
+			budget = 1 << 40
+		}
+		n, err := m.RunToCompletion(budget)
+		if err != nil {
+			return err
+		}
+		dur := time.Since(t0)
+		fmt.Printf("program:      %s\n", p.Name)
+		fmt.Printf("instructions: %d\n", n)
+		fmt.Printf("wall time:    %v (%.1f M inst/s)\n", dur.Round(time.Millisecond), float64(n)/dur.Seconds()/1e6)
+		return nil
+	case "detailed":
+		cfg, err := config.ByName(*cfgName)
+		if err != nil {
+			return err
+		}
+		sim, err := cpu.New(cfg)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		res, err := sim.Run(m, *maxInsts)
+		if err != nil {
+			return err
+		}
+		dur := time.Since(t0)
+		printDetailed(p.Name, cfg, res, dur)
+		return nil
+	case "warm":
+		// Functional execution driving caches and predictor only —
+		// the sim-cache / sim-bpred equivalent.
+		cfg, err := config.ByName(*cfgName)
+		if err != nil {
+			return err
+		}
+		sim, err := cpu.New(cfg)
+		if err != nil {
+			return err
+		}
+		budget := *maxInsts
+		if budget == 0 {
+			budget = 1 << 40
+		}
+		t0 := time.Now()
+		res, err := sim.WarmMeasured(m, budget)
+		if err != nil {
+			return err
+		}
+		dur := time.Since(t0)
+		fmt.Printf("program:        %s (config %s, warm mode: no timing)\n", p.Name, cfg.Name)
+		fmt.Printf("instructions:   %d\n", res.Insts)
+		fmt.Printf("IL1:            %d accesses, %.4f hit rate\n", res.IL1.Accesses, res.IL1.HitRate())
+		fmt.Printf("DL1:            %d accesses, %.4f hit rate\n", res.DL1.Accesses, res.DL1.HitRate())
+		fmt.Printf("UL2:            %d accesses, %.4f hit rate\n", res.L2.Accesses, res.L2.HitRate())
+		fmt.Printf("branches:       %d lookups, %.4f accuracy\n", res.Branch.Lookups, res.Branch.Accuracy())
+		fmt.Printf("wall time:      %v (%.2f M inst/s)\n", dur.Round(time.Millisecond), float64(res.Insts)/dur.Seconds()/1e6)
+		return nil
+	}
+	return fmt.Errorf("unknown mode %q", *mode)
+}
+
+func loadProgram(benchName, file, size string) (*prog.Program, error) {
+	switch {
+	case benchName != "" && file != "":
+		return nil, fmt.Errorf("use either -bench or -file, not both")
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Assemble(file, string(src))
+	case benchName != "":
+		spec, err := bench.ByName(benchName)
+		if err != nil {
+			return nil, err
+		}
+		var sz bench.Size
+		switch size {
+		case "tiny":
+			sz = bench.SizeTiny
+		case "small":
+			sz = bench.SizeSmall
+		case "ref":
+			sz = bench.SizeRef
+		default:
+			return nil, fmt.Errorf("unknown size %q", size)
+		}
+		return spec.Program(sz)
+	}
+	return nil, fmt.Errorf("need -bench or -file (suite: %v)", bench.Names())
+}
+
+func printDetailed(name string, cfg cpu.Config, res cpu.Result, dur time.Duration) {
+	fmt.Printf("program:        %s (config %s)\n", name, cfg.Name)
+	fmt.Printf("instructions:   %d\n", res.Insts)
+	fmt.Printf("cycles:         %d\n", res.Cycles)
+	fmt.Printf("CPI:            %.4f  (IPC %.3f)\n", res.CPI(), res.IPC())
+	fmt.Printf("IL1:            %d accesses, %.4f hit rate\n", res.IL1.Accesses, res.IL1.HitRate())
+	fmt.Printf("DL1:            %d accesses, %.4f hit rate\n", res.DL1.Accesses, res.DL1.HitRate())
+	fmt.Printf("L1 (combined):  %.4f hit rate\n", res.L1HitRate())
+	fmt.Printf("UL2:            %d accesses, %.4f hit rate\n", res.L2.Accesses, res.L2HitRate())
+	fmt.Printf("branches:       %d lookups, %.4f accuracy (%d dir, %d target misses)\n",
+		res.Branch.Lookups, res.Branch.Accuracy(), res.Branch.DirMisses, res.Branch.TargetMisses)
+	fmt.Printf("wall time:      %v (%.2f M inst/s)\n", dur.Round(time.Millisecond), float64(res.Insts)/dur.Seconds()/1e6)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadProgramFromSuite(t *testing.T) {
+	p, err := loadProgram("gzip", "", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "gzip" {
+		t.Errorf("name = %q", p.Name)
+	}
+	for _, size := range []string{"tiny", "small", "ref"} {
+		if _, err := loadProgram("swim", "", size); err != nil {
+			t.Errorf("size %s: %v", size, err)
+		}
+	}
+}
+
+func TestLoadProgramFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.s")
+	if err := os.WriteFile(path, []byte("addi r1, r0, 1\nhalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := loadProgram("", path, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 2 {
+		t.Errorf("code length = %d", len(p.Code))
+	}
+}
+
+func TestLoadProgramErrors(t *testing.T) {
+	if _, err := loadProgram("gzip", "x.s", "tiny"); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := loadProgram("", "", "tiny"); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadProgram("bogus", "", "tiny"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := loadProgram("gzip", "", "huge"); err == nil {
+		t.Error("unknown size accepted")
+	}
+	if _, err := loadProgram("", "/nonexistent.s", "tiny"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,113 @@
+// custom_benchmark shows the framework applied to a user-written
+// program: build a program with the structured Builder API (or
+// assembly), then profile, sample and execute it like any suite
+// benchmark.
+//
+//	go run ./examples/custom_benchmark
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlpa"
+)
+
+// buildProgram constructs a two-phase workload by hand: an outer loop
+// whose iterations alternate between a multiply-heavy kernel and a
+// memory-touching kernel.
+func buildProgram() (*mlpa.Program, error) {
+	b := mlpa.NewBuilder("custom")
+	b.ReserveData(1 << 13)
+
+	const outerTrips = 150
+	b.Li(1, outerTrips) // r1: outer counter
+	b.Label("outer")
+	b.Andi(2, 1, 1)
+	b.Bne(2, 0, "mem")
+
+	// Phase A: serial integer multiplies.
+	b.Li(3, 4000)
+	b.Label("mulloop")
+	b.Mul(4, 4, 4)
+	b.Addi(4, 4, 7)
+	b.Addi(3, 3, -1)
+	b.Bne(3, 0, "mulloop")
+	b.Jmp("next")
+
+	// Phase B: walk an 8 KiB buffer (L1-resident once warm; see
+	// DESIGN.md on why larger reused working sets need warmup care
+	// at small program scales).
+	b.Label("mem")
+	b.Li(3, 4000)
+	b.Li(5, 0)
+	b.Label("memloop")
+	b.Ld(6, 5, 0)
+	b.Addi(6, 6, 1)
+	b.St(6, 5, 0)
+	b.Addi(5, 5, 64)
+	b.Andi(5, 5, (1<<13)-1)
+	b.Addi(3, 3, -1)
+	b.Bne(3, 0, "memloop")
+
+	b.Label("next")
+	b.Addi(1, 1, -1)
+	b.Bne(1, 0, "outer")
+	b.Halt()
+	return b.Build()
+}
+
+func main() {
+	program, err := buildProgram()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Functional run to see the scale of the workload.
+	m := mlpa.NewMachine(program, 0)
+	if _, err := m.Run(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom program: %d instructions, %d basic blocks\n\n", m.Insts, program.NumBlocks())
+
+	// Multi-level sampling with a fine interval sized to the workload.
+	fine := m.Insts / 500
+	plan, rep, err := mlpa.SelectMultiLevel(program, mlpa.MultiLevelConfig{
+		Coarse: mlpa.CoastsConfig{Seed: 7},
+		Fine:   mlpa.SimPointConfig{IntervalLen: fine, Kmax: 10, Seed: 7},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first level found %d coarse points (threshold %d instructions):\n",
+		len(rep.CoarsePlan.Points), rep.Threshold)
+	for i, pt := range rep.CoarsePlan.Points {
+		resampled := "kept whole"
+		if rep.Resampled[i] != nil {
+			resampled = fmt.Sprintf("re-sampled into %d fine points", len(rep.Resampled[i].Points))
+		}
+		fmt.Printf("  coarse point [%d, %d) weight %.3f — %s\n", pt.Start, pt.End, pt.Weight, resampled)
+	}
+
+	fmt.Printf("\nfinal plan: %d points, %.3f%% detailed, %.3f%% functional, last point at %.1f%%\n",
+		len(plan.Points), plan.DetailedFraction()*100, plan.FunctionalFraction()*100,
+		plan.LastPosition()*100)
+
+	// Validate against ground truth under Table I config A.
+	truth, err := mlpa.GroundTruth(program, mlpa.ConfigA())
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := mlpa.Execute(program, plan, mlpa.ConfigA(), mlpa.ExecOptions{
+		Warmup:       10 * fine,
+		DetailLeadIn: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpiDev, l1Dev, l2Dev := mlpa.Deviations(est, truth)
+	fmt.Printf("\nestimated CPI %.4f vs true %.4f (%.2f%% off); L1 %.2f%%, L2 %.2f%% off\n",
+		est.CPI, truth.CPI(), cpiDev*100, l1Dev*100, l2Dev*100)
+	fmt.Printf("simulated %.2f%% of the program in detail instead of 100%%\n",
+		plan.DetailedFraction()*100)
+}

@@ -1,0 +1,73 @@
+// Quickstart: sample one benchmark with all three methods and compare
+// estimated metrics against ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlpa"
+)
+
+func main() {
+	// Pick a benchmark from the synthetic SPEC2000-model suite.
+	spec, err := mlpa.BenchmarkByName("equake")
+	if err != nil {
+		log.Fatal(err)
+	}
+	program, err := spec.Program(mlpa.SizeSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fine := mlpa.FineInterval(mlpa.SizeSmall)
+
+	// Select simulation points with each method.
+	simpointPlan, err := mlpa.SelectSimPoint(program, mlpa.SimPointConfig{
+		IntervalLen: fine, // the paper's "10M instructions" at this scale
+		Kmax:        30,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	coastsPlan, err := mlpa.SelectCoasts(program, mlpa.CoastsConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	multiPlan, _, err := mlpa.SelectMultiLevel(program, mlpa.MultiLevelConfig{
+		Coarse: mlpa.CoastsConfig{Seed: 1},
+		Fine:   mlpa.SimPointConfig{IntervalLen: fine, Kmax: 30, Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth: the full program through the detailed simulator.
+	truth, err := mlpa.GroundTruth(program, mlpa.ConfigA())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d instructions, true CPI %.4f\n\n", spec.Name, truth.Insts, truth.CPI())
+
+	// Execute each plan: fast-forward functionally, simulate points in
+	// detail, combine by weight.
+	opts := mlpa.ExecOptions{Warmup: 10 * fine, DetailLeadIn: 512}
+	tm := mlpa.SimpleScalarRates
+	fmt.Printf("%-12s %6s %9s %11s %10s %10s\n",
+		"method", "points", "CPI est", "CPI error", "detail%", "speedup")
+	for _, plan := range []*mlpa.Plan{coastsPlan, simpointPlan, multiPlan} {
+		est, err := mlpa.Execute(program, plan, mlpa.ConfigA(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpiDev, _, _ := mlpa.Deviations(est, truth)
+		fmt.Printf("%-12s %6d %9.4f %10.2f%% %9.3f%% %9.2fx\n",
+			plan.Method, len(plan.Points), est.CPI, cpiDev*100,
+			plan.DetailedFraction()*100,
+			tm.Speedup(plan, simpointPlan))
+	}
+	fmt.Println("\nspeedups are modeled against the SimPoint plan under SimpleScalar rates;")
+	fmt.Println("see cmd/mlpa for the full figure and table reproductions.")
+}

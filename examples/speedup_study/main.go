@@ -1,0 +1,73 @@
+// speedup_study runs the paper's headline evaluation over the whole
+// synthetic suite: Figure 3 (COASTS vs SimPoint), Figure 4
+// (multi-level vs SimPoint) and Table III (simulation-point
+// statistics), using the SimpleScalar-calibrated time model.
+//
+//	go run ./examples/speedup_study          # small scale, ~1 minute
+//	go run ./examples/speedup_study tiny     # fastest
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mlpa"
+	"mlpa/internal/report"
+	"mlpa/internal/stats"
+)
+
+func main() {
+	size := mlpa.SizeSmall
+	if len(os.Args) > 1 && os.Args[1] == "tiny" {
+		size = mlpa.SizeTiny
+	}
+
+	fmt.Println("selecting simulation points for all three methods over the suite...")
+	study, err := mlpa.NewStudy(mlpa.StudyOptions{Size: size, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fig3, err := study.Fig3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig4, err := study.Fig4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	printFigure(fig3, "paper geometric mean: 6.78x")
+	printFigure(fig4, "paper geometric mean: 14.04x; gcc ~0.97x")
+
+	rows, err := study.Table3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable("\nTable III: simulation points statistics",
+		"Algorithm", "Mean Interval Size", "Mean Samples", "Mean Detail", "Mean Functional")
+	for _, r := range rows {
+		t.AddRow(r.Method,
+			fmt.Sprintf("%.0f inst", r.MeanIntervalSize),
+			fmt.Sprintf("%.1f", r.MeanSampleNumber),
+			stats.FormatPct(r.MeanDetailPct),
+			stats.FormatPct(r.MeanFunctionalPct))
+	}
+	fmt.Print(t.String())
+	fmt.Println("\npaper row shapes: COASTS 444M/1.6/0.37%/2.21%; SimPoint 10M/20.1/0.09%/93.76%;")
+	fmt.Println("multi-level 16M/7.3/0.05%/5.06% (absolute sizes differ by the suite scale factor).")
+}
+
+func printFigure(res *mlpa.SpeedupResult, note string) {
+	names := make([]string, 0, len(res.Rows)+1)
+	vals := make([]float64, 0, len(res.Rows)+1)
+	for _, r := range res.Rows {
+		names = append(names, r.Benchmark)
+		vals = append(vals, r.Speedup)
+	}
+	names = append(names, "GEOMEAN")
+	vals = append(vals, res.GeoMean)
+	fmt.Println()
+	fmt.Print(report.BarChart(res.Title, names, vals, "x", 50))
+	fmt.Println("(" + note + ")")
+}

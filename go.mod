@@ -1,0 +1,3 @@
+module mlpa
+
+go 1.22

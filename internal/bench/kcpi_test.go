@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"testing"
+
+	"mlpa/internal/config"
+	"mlpa/internal/cpu"
+	"mlpa/internal/emu"
+)
+
+// kernelResult runs a single-kernel probe benchmark under config A.
+func kernelResult(t *testing.T, name string) cpu.Result {
+	t.Helper()
+	spec := &Spec{Name: "probe_" + name, Iterations: 24,
+		Epochs: []epoch{{From: 0, Pattern: []string{name}}}}
+	p, err := spec.build(SizeTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(p, 0)
+	sim := cpu.MustNew(config.BaseA())
+	res, err := sim.Run(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestKernelSignatures pins the microarchitectural contrasts the suite
+// depends on: every kernel lands in a plausible CPI band, the
+// streaming kernel is the most memory-bound, the ILP kernel the
+// fastest, and the branchy kernel has clearly lower prediction
+// accuracy than the biased-loop kernels.
+func TestKernelSignatures(t *testing.T) {
+	names := []string{"alu", "alu2", "ilp", "stream", "chase", "branchy", "fp", "fp2", "mixed", "burst"}
+	res := map[string]cpu.Result{}
+	for _, n := range names {
+		r := kernelResult(t, n)
+		res[n] = r
+		t.Logf("%-8s CPI=%.3f L1=%.3f L2=%.3f bracc=%.3f", n, r.CPI(), r.L1HitRate(), r.L2HitRate(), r.Branch.Accuracy())
+		if cpi := r.CPI(); cpi < 0.15 || cpi > 3 {
+			t.Errorf("%s CPI %v outside plausible band", n, cpi)
+		}
+	}
+	for _, n := range names {
+		if n != "stream" && res[n].CPI() >= res["stream"].CPI() {
+			t.Errorf("stream should be the slowest kernel; %s CPI %v >= %v", n, res[n].CPI(), res["stream"].CPI())
+		}
+		if n != "ilp" && res[n].CPI() <= res["ilp"].CPI() {
+			t.Errorf("ilp should be the fastest kernel; %s CPI %v <= %v", n, res[n].CPI(), res["ilp"].CPI())
+		}
+	}
+	if res["branchy"].Branch.Accuracy() >= res["alu"].Branch.Accuracy()-0.05 {
+		t.Errorf("branchy accuracy %v not clearly below alu %v",
+			res["branchy"].Branch.Accuracy(), res["alu"].Branch.Accuracy())
+	}
+	// Variant kernels match their primaries within a tight band.
+	for _, pair := range [][2]string{{"alu", "alu2"}, {"fp", "fp2"}} {
+		a, b := res[pair[0]].CPI(), res[pair[1]].CPI()
+		if diff := a - b; diff > 0.25 || diff < -0.25 {
+			t.Errorf("variant %s CPI %v too far from %s CPI %v", pair[1], b, pair[0], a)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package bench provides the synthetic SPEC2000-model benchmark
+// suite. The real SPEC2000 binaries and reference inputs are the
+// reproduction's data gate: each suite program is generated from a
+// per-benchmark *phase script* that encodes the distributional facts
+// the paper reports about its SPEC2000 counterpart (coarse phase
+// count, position of the last coarse phase's first appearance, outer
+// iteration structure, gcc's dominant iteration), over a library of
+// kernels with distinct microarchitectural signatures (ALU-bound,
+// ILP-rich, streaming, pointer-chasing, branchy, FP-latency-bound).
+//
+// Every kernel body is calibrated to one "work quantum" of roughly
+// 1500*unit*mul instructions, so phase scripts control instruction
+// proportions directly through iteration counts and epoch multipliers.
+package bench
+
+import (
+	"mlpa/internal/isa"
+	"mlpa/internal/prog"
+)
+
+// Register conventions inside generated programs:
+//
+//	r1  outer iteration counter i (0..N-1)
+//	r30 outer iteration limit N
+//	r11 epoch trip multiplier (set by dispatch)
+//	r2-r9, r13-r15, f1-f7 kernel scratch
+const (
+	regIter = isa.Reg(1)
+	regN    = isa.Reg(30)
+	regMul  = isa.Reg(11)
+)
+
+// gen wraps a program builder with suite conventions.
+type gen struct {
+	b *prog.Builder
+	// unit scales kernel inner trip counts (size preset).
+	unit int64
+	// next free data byte address.
+	dataCursor int64
+}
+
+func (g *gen) reserve(bytes int64) int64 {
+	base := g.dataCursor
+	g.dataCursor += bytes
+	g.b.ReserveData(g.dataCursor)
+	return base
+}
+
+// kernel generates one phase body. Bodies run with regMul holding the
+// epoch multiplier and must leave regIter/regN/regMul intact.
+type kernel struct {
+	name string
+	// init emits one-time setup before the outer loop (may be nil).
+	init func(g *gen)
+	// body emits the per-iteration work (~1500*unit*mul instructions).
+	body func(g *gen)
+}
+
+// trips emits: rd = n*unit*regMul, for loop bounds.
+func (g *gen) trips(rd isa.Reg, n int64) {
+	g.b.Li(rd, n*g.unit)
+	g.b.Mul(rd, rd, regMul)
+}
+
+// loop emits a counted loop with the trip count already in ctr.
+func (g *gen) loop(name string, ctr isa.Reg, body func()) {
+	b := g.b
+	head := b.BeginLoop(name)
+	done := b.AutoLabel("done_" + name)
+	b.Beq(ctr, isa.RZero, done)
+	body()
+	b.Addi(ctr, ctr, -1)
+	b.Bne(ctr, isa.RZero, head)
+	b.EndLoop()
+	b.Label(done)
+}
+
+// aluKernel: serial integer multiply/add dependence chain — moderate
+// CPI bound by the 3-cycle multiplier latency. ~5 insts/trip.
+func aluKernel() kernel {
+	return kernel{
+		name: "alu",
+		body: func(g *gen) {
+			b := g.b
+			g.trips(2, 300)
+			b.Ori(3, isa.RZero, 7)
+			g.loop("alu", 2, func() {
+				b.Mul(3, 3, 3)
+				b.Addi(3, 3, 13)
+				b.Xor(4, 4, 3)
+			})
+		},
+	}
+}
+
+// ilpKernel: seven independent integer streams plus one short
+// multiply chain — high but not extreme IPC. ~10 insts/trip.
+func ilpKernel() kernel {
+	return kernel{
+		name: "ilp",
+		body: func(g *gen) {
+			b := g.b
+			g.trips(2, 150)
+			b.Ori(3, isa.RZero, 5)
+			g.loop("ilp", 2, func() {
+				b.Mul(3, 3, 3)
+				b.Addi(3, 3, 1)
+				b.Addi(5, 5, 3)
+				b.Addi(6, 6, 4)
+				b.Xori(7, 7, 21)
+				b.Xori(8, 8, 17)
+				b.Addi(9, 9, 5)
+				b.Addi(13, 13, 6)
+			})
+		},
+	}
+}
+
+// streamKernel: a true read-only stream — sequential FP loads over a
+// monotonically advancing virtual cursor that never revisits a block,
+// so every fourth load is a compulsory miss regardless of cache
+// warmth. This warm-state invariance is what lets the scaled-down
+// earliest-instance simulation points stay microarchitecturally
+// representative (see DESIGN.md). The cursor persists across
+// iterations in a reserved memory slot. ~5 insts/element.
+func streamKernel() kernel {
+	var cursorSlot int64
+	return kernel{
+		name: "stream",
+		init: func(g *gen) {
+			cursorSlot = g.reserve(8)
+			b := g.b
+			// Start the stream far above the low data region. Reads
+			// of wrapped physical memory are harmless.
+			b.Li(2, 1<<22)
+			b.Li(3, cursorSlot)
+			b.St(2, 3, 0)
+		},
+		body: func(g *gen) {
+			b := g.b
+			g.trips(2, 250) // elements this iteration
+			b.Li(3, cursorSlot)
+			b.Ld(5, 3, 0) // cursor
+			g.loop("stream", 2, func() {
+				b.Fld(isa.F(1), 5, 0)
+				b.Fadd(isa.F(2), isa.F(2), isa.F(1))
+				b.Fmul(isa.F(3), isa.F(1), isa.F(1))
+				b.Addi(5, 5, 8)
+			})
+			b.Li(3, cursorSlot)
+			b.St(5, 3, 0)
+		},
+	}
+}
+
+// chaseKernel: serialized pointer chase through a pre-built cyclic
+// permutation — memory-latency bound, low IPC, poor locality.
+// ~6 insts/step.
+func chaseKernel(words int64) kernel {
+	var base int64
+	// Stride through the chase array; coprime with the power-of-two
+	// word count so one cycle visits every slot.
+	const stride = 97
+	return kernel{
+		name: "chase",
+		init: func(g *gen) {
+			base = g.reserve(words * 8)
+			b := g.b
+			// next[i] = (i + stride) mod words, stored at base + 8i.
+			b.Li(2, 0) // i
+			b.Li(3, words)
+			g.loop("chaseinit", 3, func() {
+				b.Addi(4, 2, stride)
+				b.Li(5, words)
+				b.Rem(4, 4, 5) // (i+stride) mod words
+				b.Shli(5, 2, 3)
+				b.Li(6, base)
+				b.Add(5, 5, 6)
+				b.St(4, 5, 0) // mem[base+8i] = next
+				b.Addi(2, 2, 1)
+			})
+		},
+		body: func(g *gen) {
+			b := g.b
+			g.trips(2, 250)
+			b.Li(3, 0) // cursor index
+			g.loop("chase", 2, func() {
+				b.Shli(4, 3, 3)
+				b.Li(5, base)
+				b.Add(4, 4, 5)
+				b.Ld(3, 4, 0) // cursor = next[cursor]: serialized
+			})
+		},
+	}
+}
+
+// branchyKernel: xorshift PRNG driving data-dependent branches — high
+// misprediction rate. ~15 insts/trip.
+func branchyKernel() kernel {
+	return kernel{
+		name: "branchy",
+		body: func(g *gen) {
+			b := g.b
+			g.trips(2, 100)
+			b.Ori(3, isa.RZero, 88172645) // PRNG state (nonzero)
+			g.loop("branchy", 2, func() {
+				b.Shli(4, 3, 13)
+				b.Xor(3, 3, 4)
+				b.Shri(4, 3, 7)
+				b.Xor(3, 3, 4)
+				b.Shli(4, 3, 17)
+				b.Xor(3, 3, 4)
+				b.Andi(5, 3, 1)
+				skip := b.AutoLabel("skip")
+				b.Beq(5, isa.RZero, skip)
+				b.Addi(6, 6, 1)
+				b.Label(skip)
+				b.Andi(5, 3, 2)
+				skip2 := b.AutoLabel("skip")
+				b.Beq(5, isa.RZero, skip2)
+				b.Addi(7, 7, 1)
+				b.Label(skip2)
+			})
+		},
+	}
+}
+
+// fpKernel: floating-point divide/multiply dependence chain — bound by
+// the 12-cycle FP divider. ~5 insts/trip.
+func fpKernel() kernel {
+	return kernel{
+		name: "fp",
+		body: func(g *gen) {
+			b := g.b
+			g.trips(2, 300)
+			b.Ori(3, isa.RZero, 3)
+			b.CvtIF(isa.F(1), 3)
+			b.CvtIF(isa.F(2), 3)
+			b.Fadd(isa.F(2), isa.F(2), isa.F(1)) // f2 = 6
+			g.loop("fp", 2, func() {
+				b.Fdiv(isa.F(3), isa.F(2), isa.F(1))
+				b.Fmul(isa.F(4), isa.F(3), isa.F(3))
+				b.Fadd(isa.F(5), isa.F(5), isa.F(4))
+				b.Fsub(isa.F(5), isa.F(5), isa.F(3))
+			})
+		},
+	}
+}
+
+// aluKernel2: a second integer-chain kernel with the same latency
+// profile as aluKernel but distinct code — a different basic-block
+// vector with similar performance, the way distinct phases within one
+// SPEC benchmark tend to perform alike. ~5 insts/trip.
+func aluKernel2() kernel {
+	return kernel{
+		name: "alu2",
+		body: func(g *gen) {
+			b := g.b
+			g.trips(2, 300)
+			b.Ori(3, isa.RZero, 11)
+			g.loop("alu2", 2, func() {
+				b.Mul(3, 3, 3)
+				b.Xori(3, 3, 9)
+				b.Sub(4, 4, 3)
+			})
+		},
+	}
+}
+
+// fpKernel2: a second FP kernel matching fpKernel's latency profile
+// with distinct code. ~6 insts/trip.
+func fpKernel2() kernel {
+	return kernel{
+		name: "fp2",
+		body: func(g *gen) {
+			b := g.b
+			g.trips(2, 250)
+			b.Ori(3, isa.RZero, 7)
+			b.CvtIF(isa.F(1), 3)
+			b.CvtIF(isa.F(6), 3)
+			g.loop("fp2", 2, func() {
+				b.Fdiv(isa.F(7), isa.F(1), isa.F(1))
+				b.Fadd(isa.F(6), isa.F(6), isa.F(7))
+				b.Fsub(isa.F(6), isa.F(6), isa.F(1))
+				b.Fmul(isa.F(7), isa.F(7), isa.F(7))
+			})
+		},
+	}
+}
+
+// mixedKernel: loads, ALU and branches over a small L1-resident
+// working set revisited every iteration — mostly L1 hits once warm.
+// ~12 insts/trip.
+func mixedKernel(words int64) kernel {
+	var base int64
+	return kernel{
+		name: "mixed",
+		init: func(g *gen) {
+			base = g.reserve(words * 8)
+		},
+		body: func(g *gen) {
+			b := g.b
+			g.trips(2, 125)
+			b.Li(3, base)
+			b.Li(13, base+words*8)
+			g.loop("mixed", 2, func() {
+				b.Ld(4, 3, 0)
+				b.Addi(4, 4, 1)
+				b.St(4, 3, 0)
+				b.Addi(3, 3, 64)
+				skip := b.AutoLabel("wrap")
+				b.Blt(3, 13, skip)
+				b.Li(3, base)
+				b.Label(skip)
+				b.Mul(5, 5, 5)
+				b.Addi(5, 5, 3)
+				b.Mul(5, 5, 5)
+			})
+		},
+	}
+}
+
+// conflictReuse emits the shared per-iteration L2-exercise section:
+// every iteration touches a fresh virtual window of 64 blocks laid out
+// at 4 KiB stride (one L1 way apart, so they conflict-thrash a few L1
+// sets) for several rounds. Round one misses to memory; later rounds
+// miss L1 but hit the L2 — warm-state-invariant L2 *hit* traffic,
+// since the window is never revisited across iterations. The window
+// cursor persists in cursorSlot.
+func conflictReuse(g *gen, cursorSlot int64) {
+	const (
+		conflictBlocks = 64
+		conflictStride = 4096 // one L1 way
+		conflictRounds = 4
+	)
+	b := g.b
+	b.Li(3, cursorSlot)
+	b.Ld(14, 3, 0) // window base
+	b.Li(2, conflictRounds)
+	g.loop("conflrounds", 2, func() {
+		b.Add(5, 14, isa.RZero)
+		b.Li(4, conflictBlocks)
+		g.loop("confl", 4, func() {
+			b.Ld(6, 5, 0)
+			b.Addi(5, 5, conflictStride)
+		})
+	})
+	b.Li(4, conflictBlocks*conflictStride)
+	b.Add(14, 14, 4)
+	b.Li(3, cursorSlot)
+	b.St(14, 3, 0)
+}
+
+// burstKernel: the lucas-style kernel — inside every iteration it
+// alternates rapidly between an integer burst and an FP burst with
+// burst lengths keyed to the iteration counter, so fine-grained
+// intervals see violent signature changes while every coarse-grained
+// iteration has the same aggregate mix. ~280 insts/pair.
+func burstKernel() kernel {
+	return kernel{
+		name: "burst",
+		body: func(g *gen) {
+			b := g.b
+			b.Li(2, 10) // burst pairs per iteration
+			b.Mul(2, 2, regMul)
+			g.loop("bursts", 2, func() {
+				// Integer burst, length varying with the pair index —
+				// fine-grained chaos, but the same aggregate mix in
+				// every iteration so the coarse trajectory is smooth.
+				// Burst lengths scale with the work unit so a burst
+				// spans at least a fine-grained interval at every
+				// suite scale.
+				b.Andi(3, 2, 31)
+				b.Addi(3, 3, 24)
+				b.Li(13, g.unit)
+				b.Mul(3, 3, 13)
+				g.loop("iburst", 3, func() {
+					b.Mul(4, 4, 4)
+					b.Addi(4, 4, 7)
+				})
+				// FP burst.
+				b.Andi(3, 2, 15)
+				b.Addi(3, 3, 24)
+				b.Li(13, g.unit)
+				b.Mul(3, 3, 13)
+				b.CvtIF(isa.F(1), 3)
+				g.loop("fburst", 3, func() {
+					b.Fadd(isa.F(2), isa.F(2), isa.F(1))
+					b.Fmul(isa.F(3), isa.F(2), isa.F(1))
+				})
+			})
+		},
+	}
+}

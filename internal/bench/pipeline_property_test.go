@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpa/internal/coasts"
+	"mlpa/internal/config"
+	"mlpa/internal/cpu"
+	"mlpa/internal/emu"
+	"mlpa/internal/multilevel"
+	"mlpa/internal/simpoint"
+	"mlpa/internal/vli"
+)
+
+// randomSpec builds a random but well-formed phase script.
+func randomSpec(rng *rand.Rand) *Spec {
+	kernels := []string{"alu", "alu2", "ilp", "stream", "chase", "branchy", "fp", "fp2", "mixed", "burst"}
+	iters := 12 + rng.Intn(36)
+	numEpochs := 1 + rng.Intn(3)
+	var epochs []epoch
+	from := 0
+	for e := 0; e < numEpochs; e++ {
+		patLen := 1 + rng.Intn(4)
+		pat := make([]string, patLen)
+		for i := range pat {
+			pat[i] = kernels[rng.Intn(len(kernels))]
+		}
+		mul := int64(0)
+		if rng.Intn(4) == 0 {
+			mul = int64(1 + rng.Intn(5))
+		}
+		epochs = append(epochs, epoch{From: from, Pattern: pat, Mul: mul})
+		from += 1 + rng.Intn(iters/numEpochs+1)
+		if from >= iters {
+			break
+		}
+	}
+	return &Spec{
+		Name:       "rand",
+		Iterations: iters,
+		Phases:     1,
+		Epochs:     epochs,
+	}
+}
+
+// TestRandomScriptsFullPipeline is the end-to-end property test: any
+// well-formed phase script must yield a program that runs to
+// completion deterministically and produces valid sampling plans under
+// every method, with multi-level weights descending from the coarse
+// plan.
+func TestRandomScriptsFullPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		spec := randomSpec(rng)
+		p, err := spec.build(SizeTiny)
+		if err != nil {
+			t.Fatalf("trial %d: build: %v (epochs %+v)", trial, err, spec.Epochs)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		m := emu.New(p, 0)
+		n1, err := m.RunToCompletion(1 << 30)
+		if err != nil {
+			t.Fatalf("trial %d: run: %v", trial, err)
+		}
+		m2 := emu.New(p, 0)
+		n2, _ := m2.RunToCompletion(1 << 30)
+		if n1 != n2 {
+			t.Fatalf("trial %d: nondeterministic length %d vs %d", trial, n1, n2)
+		}
+
+		fine := FineInterval(SizeTiny)
+		spPlan, _, _, err := simpoint.Select(p, simpoint.Config{IntervalLen: fine, Kmax: 10, Seed: int64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d: simpoint: %v", trial, err)
+		}
+		if err := spPlan.Validate(); err != nil {
+			t.Fatalf("trial %d: simpoint plan: %v", trial, err)
+		}
+
+		coPlan, _, _, err := coasts.Select(p, coasts.Config{Seed: int64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d: coasts: %v", trial, err)
+		}
+		if err := coPlan.Validate(); err != nil {
+			t.Fatalf("trial %d: coasts plan: %v", trial, err)
+		}
+
+		mlPlan, rep, err := multilevel.Select(p, multilevel.Config{
+			Coarse: coasts.Config{Seed: int64(trial)},
+			Fine:   simpoint.Config{IntervalLen: fine, Kmax: 10, Seed: int64(trial)},
+		})
+		if err != nil {
+			t.Fatalf("trial %d: multilevel: %v", trial, err)
+		}
+		if err := mlPlan.Validate(); err != nil {
+			t.Fatalf("trial %d: multilevel plan: %v", trial, err)
+		}
+		// Weight conservation across levels.
+		var wsum float64
+		for _, pt := range mlPlan.Points {
+			wsum += pt.Weight
+		}
+		if wsum < 0.999 || wsum > 1.001 {
+			t.Fatalf("trial %d: multilevel weights sum %v", trial, wsum)
+		}
+		if len(rep.Resampled) != len(rep.CoarsePlan.Points) {
+			t.Fatalf("trial %d: report shape mismatch", trial)
+		}
+
+		vliPlan, _, _, err := vli.Select(p, vli.Config{TargetLen: fine, Kmax: 10, Seed: int64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d: vli: %v", trial, err)
+		}
+		if err := vliPlan.Validate(); err != nil {
+			t.Fatalf("trial %d: vli plan: %v", trial, err)
+		}
+	}
+}
+
+// TestRandomProgramsDetailedSim: the detailed timing model must run
+// any well-formed suite program to completion without deadlock, with
+// exact instruction accounting and CPI in a physical band.
+func TestRandomProgramsDetailedSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		spec := randomSpec(rng)
+		p, err := spec.build(SizeTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Functional reference length.
+		mf := emu.New(p, 0)
+		want, err := mf.RunToCompletion(1 << 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		m := emu.New(p, 0)
+		sim := cpu.MustNew(config.BaseA())
+		res, err := sim.Run(m, 0)
+		if err != nil {
+			t.Fatalf("trial %d: detailed run: %v", trial, err)
+		}
+		if res.Insts != want {
+			t.Fatalf("trial %d: detailed committed %d, functional %d", trial, res.Insts, want)
+		}
+		if cpi := res.CPI(); cpi < 1.0/8 || cpi > 50 {
+			t.Errorf("trial %d: CPI %v outside physical band", trial, cpi)
+		}
+		if res.Branch.Lookups == 0 {
+			t.Errorf("trial %d: no branches observed", trial)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Errorf("counter underflow: %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter overflow: %d", c)
+	}
+	if !c.taken() {
+		t.Error("saturated counter not taken")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(1024)
+	pc := int64(0x40)
+	for i := 0; i < 8; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("bimodal did not learn taken bias")
+	}
+	for i := 0; i < 8; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Error("bimodal did not learn not-taken bias")
+	}
+}
+
+func TestGShareLearnsPattern(t *testing.T) {
+	// Alternating T/NT pattern: bimodal oscillates but gshare should
+	// learn it via history.
+	g := NewGShare(4096, 12)
+	pc := int64(0x80)
+	correct := 0
+	total := 2000
+	for i := 0; i < total; i++ {
+		taken := i%2 == 0
+		if g.Predict(pc) == taken {
+			correct++
+		}
+		g.Update(pc, taken)
+	}
+	// After warmup, accuracy should approach 100%; require >90% overall.
+	if float64(correct)/float64(total) < 0.9 {
+		t.Errorf("gshare accuracy on alternating pattern = %d/%d", correct, total)
+	}
+}
+
+func TestCombinedBeatsWorstComponent(t *testing.T) {
+	// Branch A: strongly biased (bimodal-friendly).
+	// Branch B: alternating (gshare-friendly).
+	c := NewCombined(8192)
+	correct, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		// A
+		if c.Predict(0x100) == true {
+			correct++
+		}
+		c.Update(0x100, true)
+		total++
+		// B
+		taken := i%2 == 0
+		if c.Predict(0x204) == taken {
+			correct++
+		}
+		c.Update(0x204, taken)
+		total++
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("combined accuracy = %.3f, want > 0.9", acc)
+	}
+}
+
+func TestStaticPredictors(t *testing.T) {
+	if !(Static{Taken: true}).Predict(0) {
+		t.Error("always-taken predicted not-taken")
+	}
+	if (Static{Taken: false}).Predict(0) {
+		t.Error("always-not-taken predicted taken")
+	}
+	if (Static{Taken: true}).Name() != "always-taken" {
+		t.Error("name wrong")
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(512)
+	if _, ok := b.Lookup(0x40); ok {
+		t.Error("empty BTB hit")
+	}
+	b.Update(0x40, 0x999)
+	if tgt, ok := b.Lookup(0x40); !ok || tgt != 0x999 {
+		t.Errorf("Lookup = %d, %v", tgt, ok)
+	}
+	// Aliasing entry with same index but different tag misses.
+	alias := int64(0x40 + 512)
+	if _, ok := b.Lookup(alias); ok {
+		t.Error("aliased PC hit with wrong tag")
+	}
+	b.Update(alias, 0x111)
+	if _, ok := b.Lookup(0x40); ok {
+		t.Error("evicted entry still present")
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(); ok {
+		t.Error("empty RAS popped")
+	}
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	for want := int64(3); want >= 1; want-- {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Errorf("Pop = %d, %v; want %d", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("drained RAS popped")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if got, _ := r.Pop(); got != 3 {
+		t.Errorf("Pop = %d, want 3", got)
+	}
+	if got, _ := r.Pop(); got != 2 {
+		t.Errorf("Pop = %d, want 2", got)
+	}
+}
+
+func TestNewUnitKinds(t *testing.T) {
+	for _, k := range []Kind{KindCombined, KindBimodal, KindGShare, KindTaken, KindNotTaken} {
+		u, err := NewUnit(k, 8192)
+		if err != nil {
+			t.Errorf("NewUnit(%q): %v", k, err)
+			continue
+		}
+		if u.Dir == nil || u.BTB == nil || u.RAS == nil {
+			t.Errorf("NewUnit(%q) missing components", k)
+		}
+	}
+	if _, err := NewUnit("bogus", 8192); err == nil {
+		t.Error("NewUnit(bogus) succeeded")
+	}
+}
+
+func TestUnitCondStats(t *testing.T) {
+	u, _ := NewUnit(KindCombined, 8192)
+	pc, target := int64(0x10), int64(0x80)
+	// First taken: direction predicted taken (init weakly-taken) but
+	// BTB is cold -> target miss.
+	if u.PredictCond(pc, true, target) {
+		t.Error("cold taken branch predicted correctly despite empty BTB")
+	}
+	// Now BTB warm: repeated taken branches predict correctly.
+	for i := 0; i < 4; i++ {
+		u.PredictCond(pc, true, target)
+	}
+	s := u.Stats()
+	if s.Lookups != 5 {
+		t.Errorf("lookups = %d", s.Lookups)
+	}
+	if s.Mispredicts() == 0 || s.Mispredicts() > 2 {
+		t.Errorf("mispredicts = %d, want 1-2", s.Mispredicts())
+	}
+	if s.Accuracy() <= 0.5 {
+		t.Errorf("accuracy = %v", s.Accuracy())
+	}
+}
+
+func TestUnitJumpAndCallReturn(t *testing.T) {
+	u, _ := NewUnit(KindCombined, 8192)
+	if u.PredictJump(0x20, 0x100) {
+		t.Error("cold jump predicted")
+	}
+	if !u.PredictJump(0x20, 0x100) {
+		t.Error("warm jump mispredicted")
+	}
+	// Call pushes return address; matching return predicts correctly.
+	u.PredictCall(0x30, 0x200, 0x31)
+	if !u.PredictReturn(0x210, 0x31) {
+		t.Error("return mispredicted despite RAS")
+	}
+	// Unbalanced return mispredicts.
+	if u.PredictReturn(0x220, 0x99) {
+		t.Error("return predicted with empty RAS")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	u, _ := NewUnit(KindBimodal, 64)
+	u.PredictCond(0, true, 8)
+	u.ResetStats()
+	if s := u.Stats(); s.Lookups != 0 || s.Mispredicts() != 0 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+}
+
+func TestAccuracyEmptyStats(t *testing.T) {
+	var s Stats
+	if s.Accuracy() != 1 {
+		t.Errorf("empty accuracy = %v", s.Accuracy())
+	}
+}
+
+// Random-pattern sanity: predictors never crash and accuracy stays in
+// [0,1] under arbitrary branch streams.
+func TestUnitRandomStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	u, _ := NewUnit(KindCombined, 8192)
+	for i := 0; i < 10000; i++ {
+		pc := int64(rng.Intn(64)) * 4
+		taken := rng.Intn(3) > 0
+		u.PredictCond(pc, taken, pc+int64(rng.Intn(100)))
+	}
+	acc := u.Stats().Accuracy()
+	if acc < 0 || acc > 1 {
+		t.Errorf("accuracy out of range: %v", acc)
+	}
+}
+
+func TestPAgLearnsLocalPattern(t *testing.T) {
+	// Two branches with different local patterns: a global-history
+	// predictor sees interleaved noise, per-branch histories separate
+	// them cleanly.
+	p := NewPAg(1024, 10)
+	correct, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		// Branch A: period-3 pattern T,T,N.
+		takenA := i%3 != 2
+		if p.Predict(0x40) == takenA {
+			correct++
+		}
+		p.Update(0x40, takenA)
+		total++
+		// Branch B: alternating.
+		takenB := i%2 == 0
+		if p.Predict(0x84) == takenB {
+			correct++
+		}
+		p.Update(0x84, takenB)
+		total++
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("PAg accuracy = %v, want > 0.9", acc)
+	}
+}
+
+func TestPAgUnitConstruction(t *testing.T) {
+	u, err := NewUnit(KindPAg, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Dir.Name() != "pag" {
+		t.Errorf("name = %q", u.Dir.Name())
+	}
+	u.PredictCond(0x10, true, 0x40)
+	if u.Stats().Lookups != 1 {
+		t.Error("stats not tracked")
+	}
+}
+
+func TestPerfectPredictor(t *testing.T) {
+	u, err := NewUnit(KindPerfect, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		pc := int64(rng.Intn(128)) * 4
+		if !u.PredictCond(pc, rng.Intn(2) == 0, pc+int64(rng.Intn(50))) {
+			t.Fatal("perfect predictor mispredicted a branch")
+		}
+		if !u.PredictJump(pc, pc+9) || !u.PredictReturn(pc, pc+1) {
+			t.Fatal("perfect predictor mispredicted a jump/return")
+		}
+	}
+	if s := u.Stats(); s.Mispredicts() != 0 || s.Accuracy() != 1 {
+		t.Errorf("perfect stats = %+v", s)
+	}
+}

@@ -1,0 +1,186 @@
+// Package coasts implements COASTS — COarse-grained Accurately
+// Sampling Technique for Simulators — the paper's first-level sampling
+// (Section IV-A). Intervals are iteration instances of an outer cyclic
+// program structure discovered by dynamic boundary profiling;
+// structures covering less than 1% of execution are discarded. BBVs
+// are collected per iteration instance, randomly projected to 15
+// dimensions, concatenated into signature vectors and normalized;
+// k-means with Kmax = 3 classifies the coarse phases and the
+// *earliest* instance of each phase becomes its simulation point,
+// which is what collapses the functional fast-forward time.
+package coasts
+
+import (
+	"fmt"
+
+	"mlpa/internal/bbv"
+	"mlpa/internal/emu"
+	"mlpa/internal/kmeans"
+	"mlpa/internal/phase"
+	"mlpa/internal/prog"
+	"mlpa/internal/sampling"
+)
+
+// Config parameterizes COASTS.
+type Config struct {
+	// Kmax bounds coarse-grained phase count (paper default 3).
+	Kmax int
+
+	// Dims is the projected BBV dimensionality (default 15).
+	Dims int
+
+	// Seed drives projection and clustering determinism.
+	Seed int64
+
+	// MinCoverage discards cyclic structures below this execution
+	// share during boundary collection (paper: 1%).
+	MinCoverage float64
+
+	// SubChunks concatenates this many per-iteration sub-signatures
+	// (default 1: one BBV per iteration instance).
+	SubChunks int
+
+	// BICFraction is the model-selection threshold (default 0.9).
+	BICFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Kmax <= 0 {
+		c.Kmax = 3
+	}
+	if c.Dims <= 0 {
+		c.Dims = bbv.DefaultDims
+	}
+	if c.MinCoverage <= 0 {
+		c.MinCoverage = 0.01
+	}
+	if c.SubChunks < 1 {
+		c.SubChunks = 1
+	}
+	if c.BICFraction <= 0 {
+		c.BICFraction = 0.9
+	}
+	return c
+}
+
+// MethodName is the plan label for COASTS.
+const MethodName = "coasts"
+
+// Boundary is the result of the boundary-collection profiling pass.
+type Boundary struct {
+	// Head is the selected cyclic structure's head PC, or -1 when the
+	// program has no significant cyclic structure.
+	Head int64
+	// Structure is the selected structure's dynamic profile (nil when
+	// Head is -1).
+	Structure *emu.LoopStats
+	// All lists every significant structure, by decreasing coverage.
+	All []*emu.LoopStats
+	// TotalInsts is the profiled execution length.
+	TotalInsts uint64
+}
+
+// CollectBoundaries runs the boundary-collection pass: a functional
+// execution with the dynamic loop profiler attached, followed by
+// coverage filtering and coarse-structure selection.
+func CollectBoundaries(p *prog.Program, cfg Config) (*Boundary, error) {
+	cfg = cfg.withDefaults()
+	m := emu.New(p, 0)
+	lp := emu.NewLoopProfiler(m)
+	m.Branch = lp.OnBranch
+	if _, err := m.RunToCompletion(1 << 40); err != nil {
+		return nil, fmt.Errorf("coasts: boundary collection for %s: %w", p.Name, err)
+	}
+	lp.Finish()
+	b := &Boundary{Head: -1, TotalInsts: m.Insts}
+	b.All = lp.Significant(m.Insts, cfg.MinCoverage)
+	if sel := lp.SelectCoarse(m.Insts, cfg.MinCoverage); sel != nil {
+		b.Head = sel.Head
+		b.Structure = sel
+	}
+	return b, nil
+}
+
+// Profile runs the metric-collection pass: one interval per iteration
+// instance of the selected structure. When no structure qualifies the
+// whole program becomes a single interval.
+func Profile(p *prog.Program, b *Boundary, cfg Config) (*phase.Trace, error) {
+	cfg = cfg.withDefaults()
+	proj, err := bbv.NewProjector(p.NumBlocks(), cfg.Dims, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	head := b.Head
+	if head < 0 {
+		// No cyclic structure: CollectIterations with an unreachable
+		// head yields a single whole-program interval.
+		head = int64(len(p.Code))
+	}
+	return phase.CollectIterations(p, proj, head, cfg.SubChunks)
+}
+
+// SelectFromTrace clusters an iteration trace and picks the earliest
+// instance of each coarse phase.
+func SelectFromTrace(tr *phase.Trace, cfg Config) (*sampling.Plan, *kmeans.Result, error) {
+	cfg = cfg.withDefaults()
+	if len(tr.Intervals) == 0 {
+		return nil, nil, fmt.Errorf("coasts: empty trace for %s", tr.Benchmark)
+	}
+	km, err := kmeans.Best(tr.Vectors(), cfg.Kmax, kmeans.Options{
+		Seed:        cfg.Seed,
+		BICFraction: cfg.BICFraction,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	reps := kmeans.EarliestInCluster(km)
+
+	clusterInsts := make([]uint64, km.K)
+	for i, iv := range tr.Intervals {
+		clusterInsts[km.Assign[i]] += iv.Len()
+	}
+
+	plan := &sampling.Plan{
+		Benchmark:  tr.Benchmark,
+		Method:     MethodName,
+		TotalInsts: tr.TotalInsts,
+	}
+	for c, rep := range reps {
+		if rep < 0 {
+			continue
+		}
+		iv := tr.Intervals[rep]
+		plan.Points = append(plan.Points, sampling.Point{
+			Start:    iv.Start,
+			End:      iv.End,
+			Weight:   float64(clusterInsts[c]) / float64(tr.TotalInsts),
+			Level:    1,
+			Interval: rep,
+			Parent:   -1,
+		})
+	}
+	plan.Sort()
+	plan.NormalizeWeights()
+	if err := plan.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return plan, km, nil
+}
+
+// Select runs the complete COASTS pipeline: boundary collection,
+// metric collection, coarse clustering and point selection.
+func Select(p *prog.Program, cfg Config) (*sampling.Plan, *phase.Trace, *kmeans.Result, error) {
+	b, err := CollectBoundaries(p, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tr, err := Profile(p, b, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	plan, km, err := SelectFromTrace(tr, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return plan, tr, km, nil
+}

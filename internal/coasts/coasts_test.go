@@ -1,0 +1,223 @@
+package coasts
+
+import (
+	"testing"
+
+	"mlpa/internal/isa"
+	"mlpa/internal/prog"
+)
+
+// abPatternProgram builds an outer loop of `trips` iterations whose
+// body alternates between kernel A and kernel B on a fixed pattern
+// (two coarse phases), plus a tiny prologue loop below 1% coverage.
+func abPatternProgram(t *testing.T, trips int64) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("abpattern")
+	// Insignificant prologue loop.
+	b.CountedLoop("pro", 10, 3, func() {
+		b.Addi(11, 11, 1)
+	})
+	b.Li(1, trips)
+	b.Label("outer")
+	b.Andi(2, 1, 1)
+	b.Bne(2, isa.RZero, "kb")
+	b.CountedLoop("ka", 3, 60, func() {
+		b.Add(4, 4, 4)
+		b.Xor(5, 5, 4)
+	})
+	b.Jmp("next")
+	b.Label("kb")
+	b.CountedLoop("kbl", 3, 60, func() {
+		b.Mul(6, 6, 6)
+		b.Addi(6, 6, 1)
+	})
+	b.Label("next")
+	b.Addi(1, 1, -1)
+	b.Bne(1, isa.RZero, "outer")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestCollectBoundaries(t *testing.T) {
+	p := abPatternProgram(t, 20)
+	bd, err := CollectBoundaries(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Head != p.Labels["outer"] {
+		t.Errorf("selected head = %d, want outer loop at %d", bd.Head, p.Labels["outer"])
+	}
+	if bd.Structure == nil || bd.Structure.Iterations < 19 {
+		t.Errorf("structure = %+v", bd.Structure)
+	}
+	// The tiny prologue loop must be filtered out of All.
+	for _, s := range bd.All {
+		if s.Head == p.Labels["loop_pro$1"] {
+			t.Errorf("insignificant loop survived coverage filter")
+		}
+	}
+}
+
+func TestSelectTwoCoarsePhases(t *testing.T) {
+	p := abPatternProgram(t, 20)
+	plan, tr, km, err := Select(p, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method != MethodName {
+		t.Errorf("Method = %q", plan.Method)
+	}
+	// A/B alternation yields 2 main phases; the prologue-contaminated
+	// first iteration may form a third small one.
+	if km.K < 2 || km.K > 3 {
+		t.Errorf("coarse phases = %d, want 2-3 (A/B alternation)", km.K)
+	}
+	if len(plan.Points) < 2 || len(plan.Points) > 3 {
+		t.Fatalf("points = %d, want 2-3", len(plan.Points))
+	}
+	// Earliest-instance selection: the two points are iterations 0 and
+	// 1, so the last point must sit very early in the program.
+	if pos := plan.LastPosition(); pos > 0.25 {
+		t.Errorf("last point position = %v, want very early", pos)
+	}
+	if tr.Kind != "iteration" {
+		t.Errorf("trace kind = %v", tr.Kind)
+	}
+}
+
+func TestEarliestInstanceChosen(t *testing.T) {
+	p := abPatternProgram(t, 16)
+	plan, _, km, err := Select(p, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range plan.Points {
+		c := km.Assign[pt.Interval]
+		for i := 0; i < pt.Interval; i++ {
+			if km.Assign[i] == c {
+				t.Fatalf("interval %d in cluster %d precedes representative %d", i, c, pt.Interval)
+			}
+		}
+	}
+}
+
+func TestWeightsReflectPhaseShares(t *testing.T) {
+	p := abPatternProgram(t, 20)
+	plan, _, _, err := Select(p, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A and B kernels are the same size and alternate evenly: the two
+	// dominant phases should each weigh roughly half, regardless of a
+	// possible small third phase from the contaminated first iteration.
+	heavy := 0
+	for _, pt := range plan.Points {
+		if pt.Weight >= 0.3 && pt.Weight <= 0.7 {
+			heavy++
+		}
+	}
+	if heavy != 2 {
+		t.Errorf("dominant phases = %d, want 2; points = %+v", heavy, plan.Points)
+	}
+}
+
+func TestKmaxCapsPhases(t *testing.T) {
+	p := abPatternProgram(t, 20)
+	plan, _, km, err := Select(p, Config{Seed: 8, Kmax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.K != 1 || len(plan.Points) != 1 {
+		t.Errorf("Kmax=1 produced K=%d points=%d", km.K, len(plan.Points))
+	}
+}
+
+func TestNoLoopFallback(t *testing.T) {
+	src := `
+    addi r1, r0, 3
+    add  r2, r1, r1
+    mul  r3, r2, r2
+    halt
+`
+	p, err := prog.Assemble("flat", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, tr, _, err := Select(p, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Points) != 1 {
+		t.Fatalf("points = %d, want 1 (whole program)", len(plan.Points))
+	}
+	if plan.Points[0].Len() != tr.TotalInsts {
+		t.Errorf("single point covers %d of %d", plan.Points[0].Len(), tr.TotalInsts)
+	}
+}
+
+func TestGccLikeVariableIterations(t *testing.T) {
+	// One iteration dominates (like gcc's 60% iteration): selection
+	// still works and weights track instruction mass, not counts.
+	b := prog.NewBuilder("gcclike")
+	b.Li(1, 8)
+	b.Label("outer")
+	// Iteration 5 runs a huge kernel; others a small one.
+	b.Addi(2, 1, -5)
+	b.Bne(2, isa.RZero, "small")
+	b.CountedLoop("big", 3, 600, func() {
+		b.Mul(4, 4, 4)
+	})
+	b.Jmp("next")
+	b.Label("small")
+	b.CountedLoop("sm", 3, 20, func() {
+		b.Add(5, 5, 5)
+	})
+	b.Label("next")
+	b.Addi(1, 1, -1)
+	b.Bne(1, isa.RZero, "outer")
+	b.Halt()
+	p := b.MustBuild()
+
+	plan, tr, km, err := Select(p, Config{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The big iteration should be its own phase carrying most weight.
+	var bigWeight float64
+	for _, pt := range plan.Points {
+		if pt.Weight > bigWeight {
+			bigWeight = pt.Weight
+		}
+	}
+	if bigWeight < 0.5 {
+		t.Errorf("dominant-iteration weight = %v, want > 0.5", bigWeight)
+	}
+	_ = tr
+	_ = km
+}
+
+func TestDeterministic(t *testing.T) {
+	p := abPatternProgram(t, 12)
+	p1, _, _, err := Select(p, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, _, err := Select(p, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Points) != len(p2.Points) {
+		t.Fatal("nondeterministic point count")
+	}
+	for i := range p1.Points {
+		if p1.Points[i] != p2.Points[i] {
+			t.Errorf("point %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package config encodes the machine configurations of the paper's
+// Table I: Part A, the base configuration matching Perelman et al. and
+// the SPM work, and Part B, the sensitivity-analysis configuration
+// with larger caches and longer memory latency.
+package config
+
+import (
+	"fmt"
+
+	"mlpa/internal/bpred"
+	"mlpa/internal/cache"
+	"mlpa/internal/cpu"
+	"mlpa/internal/isa"
+)
+
+// BaseA returns Table I Part A:
+//
+//	8-way decode/issue/commit; ROB 128, LSQ 64;
+//	8 int ALU, 4 load/store, 2 FP adders, 2 int MUL/DIV, 2 FP MUL/DIV;
+//	IL1 8k 2-way 32B 1cy; DL1 16k 4-way 32B 2cy; UL2 1M 4-way 32B 20cy;
+//	combined predictor, 8K BHT; memory 150/10.
+func BaseA() cpu.Config {
+	cfg := cpu.Config{
+		Name:        "A",
+		FetchWidth:  8,
+		IssueWidth:  8,
+		CommitWidth: 8,
+		ROBSize:     128,
+		LSQSize:     64,
+		Predictor:   bpred.KindCombined,
+		BHTEntries:  8192,
+		Caches: cache.HierarchyConfig{
+			IL1:      cache.Config{Name: "il1", TotalBytes: 8 << 10, Assoc: 2, BlockBytes: 32, Latency: 1},
+			DL1:      cache.Config{Name: "dl1", TotalBytes: 16 << 10, Assoc: 4, BlockBytes: 32, Latency: 2},
+			L2:       cache.Config{Name: "ul2", TotalBytes: 1 << 20, Assoc: 4, BlockBytes: 32, Latency: 20},
+			MemFirst: 150,
+			MemNext:  10,
+		},
+		SchedWindow:       32,
+		MispredictPenalty: 3,
+	}
+	cfg.FUs[isa.ClassIntALU] = 8
+	cfg.FUs[isa.ClassLoad] = 4
+	cfg.FUs[isa.ClassFPAdd] = 2
+	cfg.FUs[isa.ClassIntMul] = 2
+	cfg.FUs[isa.ClassFPMul] = 2
+	return cfg
+}
+
+// SensitivityB returns Table I Part B: same widths and buffers, but
+// 6 int ALU, 2 load/store, 6 FP adders, 4 int MUL/DIV, 4 FP MUL/DIV;
+// IL1 32k direct-mapped 1cy; DL1 128k 2-way 1cy; UL2 4M 8-way 30cy;
+// bimodal predictor with 2K BHT; memory 200/15.
+func SensitivityB() cpu.Config {
+	cfg := cpu.Config{
+		Name:        "B",
+		FetchWidth:  8,
+		IssueWidth:  8,
+		CommitWidth: 8,
+		ROBSize:     128,
+		LSQSize:     64,
+		Predictor:   bpred.KindBimodal,
+		BHTEntries:  2048,
+		Caches: cache.HierarchyConfig{
+			IL1:      cache.Config{Name: "il1", TotalBytes: 32 << 10, Assoc: 1, BlockBytes: 32, Latency: 1},
+			DL1:      cache.Config{Name: "dl1", TotalBytes: 128 << 10, Assoc: 2, BlockBytes: 32, Latency: 1},
+			L2:       cache.Config{Name: "ul2", TotalBytes: 4 << 20, Assoc: 8, BlockBytes: 32, Latency: 30},
+			MemFirst: 200,
+			MemNext:  15,
+		},
+		SchedWindow:       32,
+		MispredictPenalty: 3,
+	}
+	cfg.FUs[isa.ClassIntALU] = 6
+	cfg.FUs[isa.ClassLoad] = 2
+	cfg.FUs[isa.ClassFPAdd] = 6
+	cfg.FUs[isa.ClassIntMul] = 4
+	cfg.FUs[isa.ClassFPMul] = 4
+	return cfg
+}
+
+// ByName returns a named configuration ("A" or "B").
+func ByName(name string) (cpu.Config, error) {
+	switch name {
+	case "A", "a":
+		return BaseA(), nil
+	case "B", "b":
+		return SensitivityB(), nil
+	}
+	return cpu.Config{}, fmt.Errorf("config: unknown configuration %q (want A or B)", name)
+}
+
+// All returns both Table I configurations in order.
+func All() []cpu.Config {
+	return []cpu.Config{BaseA(), SensitivityB()}
+}

@@ -1,0 +1,138 @@
+package emu
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mlpa/internal/isa"
+)
+
+// Checkpointing serializes a machine's architectural state (registers,
+// PC, instruction count, data memory) so a sampled simulation can jump
+// straight to a simulation point without re-executing the fast-forward
+// prefix — the way production SimPoint flows store checkpoints per
+// simulation point. Memory is run-length encoded over zero words,
+// which dominates the address space of typical programs.
+
+var ckptMagic = [8]byte{'M', 'L', 'P', 'A', 'C', 'K', 'P', '1'}
+
+// SaveCheckpoint writes the machine's architectural state.
+func (m *Machine) SaveCheckpoint(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(ckptMagic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	write := func(v uint64) error { return binary.Write(bw, le, v) }
+	halted := uint64(0)
+	if m.Halted {
+		halted = 1
+	}
+	for _, v := range []uint64{uint64(m.PC), m.Insts, halted, uint64(len(m.mem))} {
+		if err := write(v); err != nil {
+			return err
+		}
+	}
+	for _, r := range m.IntRegs {
+		if err := write(uint64(r)); err != nil {
+			return err
+		}
+	}
+	for _, f := range m.FPRegs {
+		if err := binary.Write(bw, le, f); err != nil {
+			return err
+		}
+	}
+	// Memory: (index, value) pairs for non-zero words, then a
+	// terminator with index = len(mem).
+	for i, v := range m.mem {
+		if v == 0 {
+			continue
+		}
+		if err := write(uint64(i)); err != nil {
+			return err
+		}
+		if err := write(v); err != nil {
+			return err
+		}
+	}
+	if err := write(uint64(len(m.mem))); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint restores state saved by SaveCheckpoint into a machine
+// created for the same program and memory size.
+func (m *Machine) LoadCheckpoint(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("emu: checkpoint magic: %w", err)
+	}
+	if magic != ckptMagic {
+		return fmt.Errorf("emu: bad checkpoint magic %q", magic)
+	}
+	le := binary.LittleEndian
+	read := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	var hdr [4]uint64
+	for i := range hdr {
+		v, err := read()
+		if err != nil {
+			return fmt.Errorf("emu: checkpoint header: %w", err)
+		}
+		hdr[i] = v
+	}
+	if hdr[3] != uint64(len(m.mem)) {
+		return fmt.Errorf("emu: checkpoint memory size %d does not match machine %d", hdr[3], len(m.mem))
+	}
+	pc := int64(hdr[0])
+	if pc < 0 || pc > int64(len(m.code)) {
+		return fmt.Errorf("emu: checkpoint PC %d out of range", pc)
+	}
+	m.PC = pc
+	m.Insts = hdr[1]
+	m.Halted = hdr[2] != 0
+	for i := range m.IntRegs {
+		v, err := read()
+		if err != nil {
+			return fmt.Errorf("emu: checkpoint int regs: %w", err)
+		}
+		m.IntRegs[i] = int64(v)
+	}
+	for i := range m.FPRegs {
+		if err := binary.Read(br, le, &m.FPRegs[i]); err != nil {
+			return fmt.Errorf("emu: checkpoint fp regs: %w", err)
+		}
+	}
+	clear(m.mem)
+	for {
+		idx, err := read()
+		if err != nil {
+			return fmt.Errorf("emu: checkpoint memory: %w", err)
+		}
+		if idx == uint64(len(m.mem)) {
+			break
+		}
+		if idx > uint64(len(m.mem)) {
+			return fmt.Errorf("emu: checkpoint memory index %d out of range", idx)
+		}
+		v, err := read()
+		if err != nil {
+			return fmt.Errorf("emu: checkpoint memory value: %w", err)
+		}
+		m.mem[idx] = v
+	}
+	m.ResetBlockCounts()
+	return nil
+}
+
+// compile-time assertion that register counts stay in sync with the
+// serialized layout.
+var _ = [1]struct{}{}[isa.NumIntRegs-32]

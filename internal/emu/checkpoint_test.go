@@ -1,0 +1,107 @@
+package emu
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	p := buildLoop(t, 100)
+	m := New(p, 1024)
+	if _, err := m.Run(150); err != nil {
+		t.Fatal(err)
+	}
+	m.StoreWord(256, 0xdeadbeef)
+
+	var buf bytes.Buffer
+	if err := m.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New(p, 1024)
+	if err := restored.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.PC != m.PC || restored.Insts != m.Insts || restored.IntRegs != m.IntRegs {
+		t.Fatal("restored state differs")
+	}
+	if restored.LoadWord(256) != 0xdeadbeef {
+		t.Error("memory not restored")
+	}
+
+	// Both continue identically to completion.
+	if _, err := m.RunToCompletion(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.RunToCompletion(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if m.Insts != restored.Insts || m.IntRegs[2] != restored.IntRegs[2] {
+		t.Errorf("divergence after restore: %d/%d vs %d/%d",
+			m.Insts, m.IntRegs[2], restored.Insts, restored.IntRegs[2])
+	}
+}
+
+func TestCheckpointSparseEncoding(t *testing.T) {
+	// A machine with little non-zero memory should checkpoint far
+	// smaller than its memory footprint.
+	p := buildLoop(t, 5)
+	m := New(p, 1<<16)
+	m.StoreWord(8, 1)
+	m.StoreWord(800, 2)
+	var buf bytes.Buffer
+	if err := m.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 2048 {
+		t.Errorf("sparse checkpoint is %d bytes", buf.Len())
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	p := buildLoop(t, 5)
+	m := New(p, 1024)
+
+	// Bad magic.
+	if err := m.LoadCheckpoint(bytes.NewReader([]byte("NOTACKPT12345678"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// Memory size mismatch.
+	var buf bytes.Buffer
+	if err := m.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := New(p, 4096)
+	if err := other.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("memory-size mismatch accepted")
+	}
+
+	// Truncation.
+	data := buf.Bytes()
+	for _, cut := range []int{4, 20, len(data) / 2} {
+		m2 := New(p, 1024)
+		if err := m2.LoadCheckpoint(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCheckpointOfHaltedMachine(t *testing.T) {
+	p := buildLoop(t, 3)
+	m := New(p, 1024)
+	if _, err := m.RunToCompletion(1e6); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := New(p, 1024)
+	if err := r.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Halted {
+		t.Error("halted flag not restored")
+	}
+}

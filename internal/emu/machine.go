@@ -1,0 +1,343 @@
+// Package emu implements the functional emulator — the fast-forward
+// engine of the sampling-simulation framework. It executes mini-ISA
+// programs at interpreter speed while maintaining the committed
+// instruction count, per-basic-block instruction counts (the raw
+// material of basic-block vectors), and an optional taken-branch hook
+// used by the dynamic loop profiler.
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"mlpa/internal/isa"
+	"mlpa/internal/prog"
+)
+
+// BranchHook observes taken control transfers. from is the PC of the
+// transferring instruction, to the destination PC. Backward transfers
+// (to <= from) delimit loop iterations.
+type BranchHook func(from, to int64)
+
+// StepInfo describes one committed instruction for execution-driven
+// timing simulation.
+type StepInfo struct {
+	PC      int64
+	Inst    isa.Inst
+	NextPC  int64
+	MemAddr int64 // virtual byte address for loads/stores, else -1
+	Taken   bool  // control transfer taken (always true for jumps)
+}
+
+// Machine is the architectural state of one program execution.
+type Machine struct {
+	Prog *prog.Program
+
+	IntRegs [isa.NumIntRegs]int64
+	FPRegs  [isa.NumFPRegs]float64
+
+	// PC is the next instruction index to execute.
+	PC     int64
+	Halted bool
+
+	// Insts is the number of committed instructions so far.
+	Insts uint64
+
+	// BlockCounts[b] is the number of instructions committed within
+	// basic block b since the last ResetBlockCounts. This is the
+	// instruction-weighted BBV accumulator.
+	BlockCounts []uint64
+
+	// Branch, if non-nil, is invoked for every taken control transfer.
+	Branch BranchHook
+
+	mem      []uint64 // word-addressed data memory, power-of-two length
+	memMask  int64
+	code     []isa.Inst
+	blockOf  []int32
+	haltedAt int64
+}
+
+// DefaultMemWords is the data-memory size used when a program does not
+// declare one: 1M words = 8 MiB, comfortably larger than the L2.
+const DefaultMemWords = 1 << 20
+
+// New creates a Machine for p. memWords, if positive, overrides the
+// data-memory size; it is rounded up to a power of two words.
+func New(p *prog.Program, memWords int64) *Machine {
+	if memWords <= 0 {
+		memWords = (p.DataSize + 7) / 8
+		if memWords < DefaultMemWords {
+			memWords = DefaultMemWords
+		}
+	}
+	words := int64(1)
+	for words < memWords {
+		words <<= 1
+	}
+	return &Machine{
+		Prog:        p,
+		mem:         make([]uint64, words),
+		memMask:     words - 1,
+		code:        p.Code,
+		blockOf:     p.BlockTable(),
+		BlockCounts: make([]uint64, p.NumBlocks()),
+	}
+}
+
+// Clone returns an independent deep copy of the machine (registers,
+// memory, counters). Hooks are not copied. Cloning costs a full
+// data-memory copy; it exists for dry-run warming passes.
+func (m *Machine) Clone() *Machine {
+	c := &Machine{
+		Prog:        m.Prog,
+		IntRegs:     m.IntRegs,
+		FPRegs:      m.FPRegs,
+		PC:          m.PC,
+		Halted:      m.Halted,
+		Insts:       m.Insts,
+		mem:         append([]uint64(nil), m.mem...),
+		memMask:     m.memMask,
+		code:        m.code,
+		blockOf:     m.blockOf,
+		BlockCounts: append([]uint64(nil), m.BlockCounts...),
+		haltedAt:    m.haltedAt,
+	}
+	return c
+}
+
+// Reset rewinds the machine to the initial state (registers, memory,
+// PC, counters all zero).
+func (m *Machine) Reset() {
+	m.IntRegs = [isa.NumIntRegs]int64{}
+	m.FPRegs = [isa.NumFPRegs]float64{}
+	clear(m.mem)
+	m.PC = 0
+	m.Halted = false
+	m.Insts = 0
+	m.ResetBlockCounts()
+}
+
+// ResetBlockCounts zeroes the BBV accumulator (used at interval
+// boundaries).
+func (m *Machine) ResetBlockCounts() {
+	clear(m.BlockCounts)
+}
+
+// SnapshotBlockCounts returns a copy of the BBV accumulator.
+func (m *Machine) SnapshotBlockCounts() []uint64 {
+	out := make([]uint64, len(m.BlockCounts))
+	copy(out, m.BlockCounts)
+	return out
+}
+
+// MemWords returns the data-memory size in 64-bit words.
+func (m *Machine) MemWords() int64 { return int64(len(m.mem)) }
+
+// LoadWord reads the data word at virtual byte address addr.
+func (m *Machine) LoadWord(addr int64) uint64 { return m.mem[(addr>>3)&m.memMask] }
+
+// StoreWord writes the data word at virtual byte address addr.
+func (m *Machine) StoreWord(addr int64, v uint64) { m.mem[(addr>>3)&m.memMask] = v }
+
+// Step executes a single instruction and reports what happened. It is
+// the execution-driven interface used by the detailed timing model.
+func (m *Machine) Step() (StepInfo, error) {
+	if m.Halted {
+		return StepInfo{}, fmt.Errorf("emu: program %q already halted", m.Prog.Name)
+	}
+	pc := m.PC
+	if pc < 0 || pc >= int64(len(m.code)) {
+		m.Halted = true
+		return StepInfo{}, fmt.Errorf("emu: program %q: PC %d out of range", m.Prog.Name, pc)
+	}
+	in := m.code[pc]
+	info := StepInfo{PC: pc, Inst: in, MemAddr: -1}
+
+	m.BlockCounts[m.blockOf[pc]]++
+	m.Insts++
+
+	next := pc + 1
+	taken := false
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		m.Halted = true
+		m.haltedAt = pc
+		next = pc
+	case isa.OpAdd:
+		m.setInt(in.Rd, m.geti(in.Rs1)+m.geti(in.Rs2))
+	case isa.OpSub:
+		m.setInt(in.Rd, m.geti(in.Rs1)-m.geti(in.Rs2))
+	case isa.OpMul:
+		m.setInt(in.Rd, m.geti(in.Rs1)*m.geti(in.Rs2))
+	case isa.OpDiv:
+		d := m.geti(in.Rs2)
+		if d == 0 {
+			m.setInt(in.Rd, 0)
+		} else {
+			m.setInt(in.Rd, m.geti(in.Rs1)/d)
+		}
+	case isa.OpRem:
+		d := m.geti(in.Rs2)
+		if d == 0 {
+			m.setInt(in.Rd, 0)
+		} else {
+			m.setInt(in.Rd, m.geti(in.Rs1)%d)
+		}
+	case isa.OpAnd:
+		m.setInt(in.Rd, m.geti(in.Rs1)&m.geti(in.Rs2))
+	case isa.OpOr:
+		m.setInt(in.Rd, m.geti(in.Rs1)|m.geti(in.Rs2))
+	case isa.OpXor:
+		m.setInt(in.Rd, m.geti(in.Rs1)^m.geti(in.Rs2))
+	case isa.OpShl:
+		m.setInt(in.Rd, m.geti(in.Rs1)<<(uint64(m.geti(in.Rs2))&63))
+	case isa.OpShr:
+		m.setInt(in.Rd, int64(uint64(m.geti(in.Rs1))>>(uint64(m.geti(in.Rs2))&63)))
+	case isa.OpSlt:
+		m.setInt(in.Rd, b2i(m.geti(in.Rs1) < m.geti(in.Rs2)))
+	case isa.OpAddi:
+		m.setInt(in.Rd, m.geti(in.Rs1)+in.Imm)
+	case isa.OpAndi:
+		m.setInt(in.Rd, m.geti(in.Rs1)&in.Imm)
+	case isa.OpOri:
+		m.setInt(in.Rd, m.geti(in.Rs1)|in.Imm)
+	case isa.OpXori:
+		m.setInt(in.Rd, m.geti(in.Rs1)^in.Imm)
+	case isa.OpShli:
+		m.setInt(in.Rd, m.geti(in.Rs1)<<(uint64(in.Imm)&63))
+	case isa.OpShri:
+		m.setInt(in.Rd, int64(uint64(m.geti(in.Rs1))>>(uint64(in.Imm)&63)))
+	case isa.OpSlti:
+		m.setInt(in.Rd, b2i(m.geti(in.Rs1) < in.Imm))
+	case isa.OpLui:
+		m.setInt(in.Rd, in.Imm<<16)
+	case isa.OpLd:
+		addr := m.geti(in.Rs1) + in.Imm
+		info.MemAddr = addr
+		m.setInt(in.Rd, int64(m.mem[(addr>>3)&m.memMask]))
+	case isa.OpSt:
+		addr := m.geti(in.Rs1) + in.Imm
+		info.MemAddr = addr
+		m.mem[(addr>>3)&m.memMask] = uint64(m.geti(in.Rs2))
+	case isa.OpFld:
+		addr := m.geti(in.Rs1) + in.Imm
+		info.MemAddr = addr
+		m.setFP(in.Rd, math.Float64frombits(m.mem[(addr>>3)&m.memMask]))
+	case isa.OpFst:
+		addr := m.geti(in.Rs1) + in.Imm
+		info.MemAddr = addr
+		m.mem[(addr>>3)&m.memMask] = math.Float64bits(m.getf(in.Rs2))
+	case isa.OpFadd:
+		m.setFP(in.Rd, m.getf(in.Rs1)+m.getf(in.Rs2))
+	case isa.OpFsub:
+		m.setFP(in.Rd, m.getf(in.Rs1)-m.getf(in.Rs2))
+	case isa.OpFmul:
+		m.setFP(in.Rd, m.getf(in.Rs1)*m.getf(in.Rs2))
+	case isa.OpFdiv:
+		m.setFP(in.Rd, m.getf(in.Rs1)/m.getf(in.Rs2))
+	case isa.OpFneg:
+		m.setFP(in.Rd, -m.getf(in.Rs1))
+	case isa.OpFmov:
+		m.setFP(in.Rd, m.getf(in.Rs1))
+	case isa.OpCvtIF:
+		m.setFP(in.Rd, float64(m.geti(in.Rs1)))
+	case isa.OpCvtFI:
+		f := m.getf(in.Rs1)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			m.setInt(in.Rd, 0)
+		} else {
+			m.setInt(in.Rd, int64(f))
+		}
+	case isa.OpFcmpLt:
+		m.setInt(in.Rd, b2i(m.getf(in.Rs1) < m.getf(in.Rs2)))
+	case isa.OpFcmpEq:
+		m.setInt(in.Rd, b2i(m.getf(in.Rs1) == m.getf(in.Rs2)))
+	case isa.OpBeq:
+		taken = m.geti(in.Rs1) == m.geti(in.Rs2)
+	case isa.OpBne:
+		taken = m.geti(in.Rs1) != m.geti(in.Rs2)
+	case isa.OpBlt:
+		taken = m.geti(in.Rs1) < m.geti(in.Rs2)
+	case isa.OpBge:
+		taken = m.geti(in.Rs1) >= m.geti(in.Rs2)
+	case isa.OpJmp:
+		taken = true
+	case isa.OpJal:
+		m.setInt(in.Rd, pc+1)
+		taken = true
+	case isa.OpJr:
+		taken = true
+		next = m.geti(in.Rs1)
+	default:
+		return info, fmt.Errorf("emu: program %q: unimplemented opcode %v at pc %d", m.Prog.Name, in.Op, pc)
+	}
+
+	if taken && in.Op != isa.OpJr {
+		next = in.Targ
+	}
+	if taken && m.Branch != nil {
+		m.Branch(pc, next)
+	}
+	info.Taken = taken
+	info.NextPC = next
+	m.PC = next
+	return info, nil
+}
+
+// Run executes up to maxInsts instructions (or until halt if maxInsts
+// is 0) and returns the number executed. It is the fast path used for
+// functional fast-forwarding and profiling.
+func (m *Machine) Run(maxInsts uint64) (uint64, error) {
+	var done uint64
+	for !m.Halted && (maxInsts == 0 || done < maxInsts) {
+		if _, err := m.Step(); err != nil {
+			return done, err
+		}
+		done++
+	}
+	return done, nil
+}
+
+// RunToCompletion executes until the program halts, with a safety
+// bound to catch runaway programs.
+func (m *Machine) RunToCompletion(bound uint64) (uint64, error) {
+	n, err := m.Run(bound)
+	if err != nil {
+		return n, err
+	}
+	if !m.Halted {
+		return n, fmt.Errorf("emu: program %q did not halt within %d instructions", m.Prog.Name, bound)
+	}
+	return n, nil
+}
+
+func (m *Machine) geti(r isa.Reg) int64 {
+	if r == isa.RZero {
+		return 0
+	}
+	return m.IntRegs[r&31]
+}
+
+func (m *Machine) getf(r isa.Reg) float64 {
+	return m.FPRegs[r&31]
+}
+
+func (m *Machine) setInt(r isa.Reg, v int64) {
+	if r != isa.RZero && !r.IsFP() {
+		m.IntRegs[r&31] = v
+	}
+}
+
+func (m *Machine) setFP(r isa.Reg, v float64) {
+	m.FPRegs[r&31] = v
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

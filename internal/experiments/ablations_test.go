@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"testing"
+
+	"mlpa/internal/bench"
+)
+
+func TestGranularitySweepTradeoff(t *testing.T) {
+	o := Options{Size: bench.SizeTiny, Seed: 1}
+	rows, err := GranularitySweep(o, "gzip", []float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Section III: coarser intervals -> fewer or equal points and more
+	// detail per point.
+	if rows[2].Points > rows[0].Points {
+		t.Errorf("coarse points %d > fine points %d", rows[2].Points, rows[0].Points)
+	}
+	if rows[2].DetailPct <= rows[0].DetailPct {
+		t.Errorf("coarse detail %v <= fine detail %v", rows[2].DetailPct, rows[0].DetailPct)
+	}
+	for _, r := range rows {
+		if r.ModeledTime <= 0 {
+			t.Errorf("non-positive modeled time: %+v", r)
+		}
+	}
+}
+
+func TestGranularitySweepErrors(t *testing.T) {
+	o := Options{Size: bench.SizeTiny}
+	if _, err := GranularitySweep(o, "nope", []float64{1}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := GranularitySweep(o, "gzip", []float64{0}); err == nil {
+		t.Error("zero multiplier accepted")
+	}
+}
+
+func TestCoarseKmaxSweep(t *testing.T) {
+	o := Options{Size: bench.SizeTiny, Seed: 1}
+	rows, err := CoarseKmaxSweep(o, "equake", []int{1, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More clusters can never select fewer points than Kmax=1.
+	if rows[2].Points < rows[0].Points {
+		t.Errorf("Kmax=6 points %d < Kmax=1 points %d", rows[2].Points, rows[0].Points)
+	}
+	if rows[0].Points != 1 {
+		t.Errorf("Kmax=1 selected %d points", rows[0].Points)
+	}
+}
+
+func TestThresholdSweep(t *testing.T) {
+	o := Options{Size: bench.SizeTiny, Seed: 1}
+	rows, err := ThresholdSweep(o, "swim", []float64{0.2, 1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny threshold re-samples everything; a huge one nothing.
+	if rows[0].Resampled == 0 {
+		t.Errorf("tiny threshold re-sampled nothing: %+v", rows[0])
+	}
+	if rows[2].Resampled != 0 {
+		t.Errorf("huge threshold re-sampled %d points", rows[2].Resampled)
+	}
+	// Re-sampling must cut the detailed fraction.
+	if rows[0].DetailPct >= rows[2].DetailPct {
+		t.Errorf("re-sampled detail %v >= whole-point detail %v", rows[0].DetailPct, rows[2].DetailPct)
+	}
+}
+
+func TestProjectionDimSweep(t *testing.T) {
+	o := Options{Size: bench.SizeTiny, Seed: 1}
+	rows, err := ProjectionDimSweep(o, "swim", []int{2, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.CPIDev < 0 || r.Points < 1 {
+			t.Errorf("row = %+v", r)
+		}
+	}
+}
+
+func TestColdStartAblation(t *testing.T) {
+	o := Options{Size: bench.SizeTiny, Seed: 1}
+	rows, err := ColdStartAblation(o, "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The warming policy must not be worse overall; cold runs carry the
+	// transients DESIGN.md describes.
+	betterOrEqual := 0
+	for _, r := range rows {
+		if r.WarmDev <= r.ColdDev+0.02 {
+			betterOrEqual++
+		}
+	}
+	if betterOrEqual < 2 {
+		t.Errorf("warming helped only %d of 3 methods: %+v", betterOrEqual, rows)
+	}
+}
+
+func TestEarlySPComparison(t *testing.T) {
+	o := Options{Size: bench.SizeTiny, Seed: 1}
+	rows, err := EarlySPComparison(o, []string{"gzip", "swim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// EarlySP reduces the functional portion relative to standard
+		// SimPoint, but "can only reduce some functional simulation
+		// time" — COASTS's earliest-instance coarse points cut it far
+		// deeper (paper Section II). Speedups only separate at larger
+		// suite scales, so the structural claim is on the fractions.
+		if r.EarlySPFunctional > r.StandardFunctional+1e-9 {
+			t.Errorf("%s: EarlySP functional %v above standard %v", r.Benchmark, r.EarlySPFunctional, r.StandardFunctional)
+		}
+		if r.CoastsFunctional >= r.EarlySPFunctional {
+			t.Errorf("%s: COASTS functional %v not below EarlySP %v", r.Benchmark, r.CoastsFunctional, r.EarlySPFunctional)
+		}
+	}
+}
+
+func TestVLIComparisonRows(t *testing.T) {
+	o := Options{Size: bench.SizeTiny, Seed: 1}
+	rows, err := VLIComparison(o, []string{"gzip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.TimeRatio < 0.2 || r.TimeRatio > 5 {
+		t.Errorf("VLI time ratio %v far from parity", r.TimeRatio)
+	}
+	if r.MeanVLILength < float64(bench.FineInterval(bench.SizeTiny)) {
+		t.Errorf("mean VLI interval %v below target", r.MeanVLILength)
+	}
+	if _, err := VLIComparison(o, []string{"bogus"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestStatisticalSamplingComparison(t *testing.T) {
+	o := Options{Size: bench.SizeTiny, Seed: 1}
+	rows, err := StatisticalSamplingComparison(o, []string{"crafty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Units < 3 {
+		t.Errorf("units = %d", r.Units)
+	}
+	// Accuracy fine, cost structure poor: functional spans the run.
+	if r.CPIDev > 0.25 {
+		t.Errorf("systematic CPI deviation %v", r.CPIDev)
+	}
+	if r.FunctionalPct < 0.9 {
+		t.Errorf("systematic functional fraction %v, want ~1", r.FunctionalPct)
+	}
+}

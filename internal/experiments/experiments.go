@@ -1,0 +1,519 @@
+// Package experiments reproduces the paper's evaluation: Figure 1
+// (phase trajectories), Figures 3 and 4 (speedups of COASTS and
+// multi-level sampling over 10M SimPoint), Table II (metric
+// deviations under both Table I configurations) and Table III
+// (simulation-point statistics).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"mlpa/internal/bench"
+	"mlpa/internal/coasts"
+	"mlpa/internal/cpu"
+	"mlpa/internal/linalg"
+	"mlpa/internal/multilevel"
+	"mlpa/internal/pipeline"
+	"mlpa/internal/sampling"
+	"mlpa/internal/simpoint"
+	"mlpa/internal/stats"
+)
+
+// Method names in table order.
+const (
+	MethodCoasts     = coasts.MethodName
+	MethodSimPoint   = simpoint.MethodName
+	MethodMultiLevel = multilevel.MethodName
+)
+
+// Methods lists the three compared methods in the paper's table order.
+func Methods() []string {
+	return []string{MethodCoasts, MethodSimPoint, MethodMultiLevel}
+}
+
+// Options configures a study.
+type Options struct {
+	// Size selects the suite scale (default bench.SizeSmall).
+	Size bench.Size
+	// Seed drives all randomized stages (default 1).
+	Seed int64
+	// Warmup is the functional-warming window per point; 0 chooses
+	// continuous functional warming of the entire fast-forward gap
+	// (SMARTS-style; see pipeline.ExecOptions on why scaled points
+	// need warming).
+	Warmup uint64
+	// DetailLeadIn is the discarded detailed warmup per point; 0
+	// chooses 512 instructions (4x the reorder buffer).
+	DetailLeadIn uint64
+	// RunAhead is the discarded detailed run-ahead past each point
+	// (an ablation knob: it lets tail latencies overlap successor
+	// work, but pollutes the measured region's fetch-side cache and
+	// branch statistics with successor instructions; default 0).
+	RunAhead uint64
+	// SampleCap bounds fine-grained clustering input (default 2000).
+	SampleCap int
+	// TimeModel converts instruction splits to simulation time
+	// (default sampling.SimpleScalarRates; see DESIGN.md).
+	TimeModel sampling.TimeModel
+	// Benchmarks restricts the suite (nil = all).
+	Benchmarks []string
+	// FineKmax is SimPoint's Kmax (default 30, the release default).
+	FineKmax int
+	// FineBICFraction is the BIC selection fraction for the
+	// fine-grained clustering. The harness default is 0.99 rather than
+	// SimPoint's 0.9: the synthetic suite's BBVs are noiseless, so the
+	// BIC curve saturates at very small k under the 0.9 rule, merging
+	// unlike intervals; 0.99 yields cluster counts (~16-25) matching
+	// SimPoint's observed behavior on SPEC2000 (20.1 points on
+	// average). The ablation benchmark sweeps this fraction.
+	FineBICFraction float64
+	// CoarseKmax is COASTS's Kmax (default 3, the paper default).
+	CoarseKmax int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Warmup == 0 {
+		o.Warmup = math.MaxUint64
+	}
+	if o.DetailLeadIn == 0 {
+		o.DetailLeadIn = 512
+	}
+	if o.SampleCap == 0 {
+		o.SampleCap = 2000
+	}
+	if o.TimeModel.DetailedRate == 0 {
+		o.TimeModel = sampling.SimpleScalarRates
+	}
+	if o.FineKmax == 0 {
+		o.FineKmax = 30
+	}
+	if o.CoarseKmax == 0 {
+		o.CoarseKmax = 3
+	}
+	if o.FineBICFraction == 0 {
+		o.FineBICFraction = 0.99
+	}
+	return o
+}
+
+func (o Options) fineConfig() simpoint.Config {
+	return simpoint.Config{
+		IntervalLen: bench.FineInterval(o.Size),
+		Kmax:        o.FineKmax,
+		Seed:        o.Seed,
+		SampleCap:   o.SampleCap,
+		BICFraction: o.FineBICFraction,
+	}
+}
+
+func (o Options) coarseConfig() coasts.Config {
+	return coasts.Config{Kmax: o.CoarseKmax, Seed: o.Seed}
+}
+
+func (o Options) specs() ([]*bench.Spec, error) {
+	if len(o.Benchmarks) == 0 {
+		return bench.Suite(), nil
+	}
+	var out []*bench.Spec
+	for _, name := range o.Benchmarks {
+		s, err := bench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Plans carries the three methods' sampling plans for one benchmark.
+type Plans struct {
+	Spec       *bench.Spec
+	SimPoint   *sampling.Plan
+	Coasts     *sampling.Plan
+	MultiLevel *sampling.Plan
+}
+
+// ByMethod returns the plan for a method name.
+func (p *Plans) ByMethod(method string) (*sampling.Plan, error) {
+	switch method {
+	case MethodSimPoint:
+		return p.SimPoint, nil
+	case MethodCoasts:
+		return p.Coasts, nil
+	case MethodMultiLevel:
+		return p.MultiLevel, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown method %q", method)
+}
+
+// Study holds selected plans for a benchmark set; the table and
+// figure generators derive their results from it.
+type Study struct {
+	Opts  Options
+	Plans []*Plans
+}
+
+// NewStudy runs the profiling and point-selection stages of all three
+// methods over the configured benchmarks.
+func NewStudy(o Options) (*Study, error) {
+	o = o.withDefaults()
+	specs, err := o.specs()
+	if err != nil {
+		return nil, err
+	}
+	st := &Study{Opts: o, Plans: make([]*Plans, len(specs))}
+	// Selection is independent and deterministic per benchmark; run it
+	// across the suite in parallel.
+	err = forEachIndex(len(specs), func(i int) error {
+		spec := specs[i]
+		p, err := spec.Program(o.Size)
+		if err != nil {
+			return err
+		}
+		sp, _, _, err := simpoint.Select(p, o.fineConfig())
+		if err != nil {
+			return fmt.Errorf("experiments: simpoint on %s: %w", spec.Name, err)
+		}
+		co, _, _, err := coasts.Select(p, o.coarseConfig())
+		if err != nil {
+			return fmt.Errorf("experiments: coasts on %s: %w", spec.Name, err)
+		}
+		ml, _, err := multilevel.Select(p, multilevel.Config{
+			Coarse: o.coarseConfig(),
+			Fine:   o.fineConfig(),
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: multilevel on %s: %w", spec.Name, err)
+		}
+		st.Plans[i] = &Plans{Spec: spec, SimPoint: sp, Coasts: co, MultiLevel: ml}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// forEachIndex runs fn(0..n-1) on up to GOMAXPROCS workers, returning
+// the first error. Work items must be independent; result slots are
+// written by index, so output order stays deterministic.
+func forEachIndex(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// SpeedupRow is one bar of Figure 3 or 4.
+type SpeedupRow struct {
+	Benchmark string
+	Speedup   float64
+}
+
+// SpeedupResult is a full speedup figure.
+type SpeedupResult struct {
+	Title   string
+	Rows    []SpeedupRow
+	GeoMean float64
+}
+
+func (st *Study) speedups(title, method string) (*SpeedupResult, error) {
+	res := &SpeedupResult{Title: title}
+	var vals []float64
+	for _, pl := range st.Plans {
+		target, err := pl.ByMethod(method)
+		if err != nil {
+			return nil, err
+		}
+		s := st.Opts.TimeModel.Speedup(target, pl.SimPoint)
+		res.Rows = append(res.Rows, SpeedupRow{Benchmark: pl.Spec.Name, Speedup: s})
+		vals = append(vals, s)
+	}
+	res.GeoMean = stats.GeoMean(vals)
+	return res, nil
+}
+
+// Fig3 reproduces Figure 3: speedup of COASTS over 10M SimPoint
+// (paper geometric mean: 6.78x).
+func (st *Study) Fig3() (*SpeedupResult, error) {
+	return st.speedups("Fig. 3: speedup of COASTS over SimPoint", MethodCoasts)
+}
+
+// Fig4 reproduces Figure 4: speedup of multi-level sampling over 10M
+// SimPoint (paper geometric mean: 14.04x; gcc ~0.97x).
+func (st *Study) Fig4() (*SpeedupResult, error) {
+	return st.speedups("Fig. 4: speedup of multi-level sampling over SimPoint", MethodMultiLevel)
+}
+
+// Table3Row is one line of Table III. All columns use geometric means
+// over the suite, the paper's AVG convention; zero fractions are
+// floored at 0.01% so benchmarks whose plans need no fast-forwarding
+// at all (contiguous points from instruction 0) stay representable.
+type Table3Row struct {
+	Method            string
+	MeanIntervalSize  float64
+	MeanSampleNumber  float64
+	MeanDetailPct     float64
+	MeanFunctionalPct float64
+}
+
+// geoFloor is the smallest fraction Table III's geometric means admit.
+const geoFloor = 1e-4
+
+// Table3 reproduces Table III (simulation-point statistics).
+func (st *Study) Table3() ([]Table3Row, error) {
+	var out []Table3Row
+	for _, method := range []string{MethodCoasts, MethodSimPoint, MethodMultiLevel} {
+		var sizes, counts, det, fun []float64
+		for _, pl := range st.Plans {
+			p, err := pl.ByMethod(method)
+			if err != nil {
+				return nil, err
+			}
+			sizes = append(sizes, p.MeanPointLen())
+			counts = append(counts, float64(len(p.Points)))
+			det = append(det, math.Max(p.DetailedFraction(), geoFloor))
+			fun = append(fun, math.Max(p.FunctionalFraction(), geoFloor))
+		}
+		out = append(out, Table3Row{
+			Method:            method,
+			MeanIntervalSize:  stats.GeoMean(sizes),
+			MeanSampleNumber:  stats.GeoMean(counts),
+			MeanDetailPct:     stats.GeoMean(det),
+			MeanFunctionalPct: stats.GeoMean(fun),
+		})
+	}
+	return out, nil
+}
+
+// DevCell is one (metric, method, config) cell of Table II.
+type DevCell struct {
+	Avg        float64
+	Worst      float64
+	WorstBench string
+}
+
+// Table2Result maps metric -> method -> config name -> deviations.
+type Table2Result struct {
+	Metrics []string // "CPI", "L1 Cache Hit", "L2 Cache Hit"
+	Cells   map[string]map[string]map[string]DevCell
+}
+
+// Table2 reproduces Table II: it runs ground-truth full detailed
+// simulations and executes every method's plan under each supplied
+// configuration, reporting average and worst relative deviations of
+// CPI and cache hit rates.
+func (st *Study) Table2(configs []cpu.Config) (*Table2Result, error) {
+	metrics := []string{"CPI", "L1 Cache Hit", "L2 Cache Hit"}
+	res := &Table2Result{Metrics: metrics}
+	res.Cells = make(map[string]map[string]map[string]DevCell)
+	aggs := make(map[string]map[string]map[string]*stats.Agg)
+	for _, m := range metrics {
+		res.Cells[m] = make(map[string]map[string]DevCell)
+		aggs[m] = make(map[string]map[string]*stats.Agg)
+		for _, method := range Methods() {
+			res.Cells[m][method] = make(map[string]DevCell)
+			aggs[m][method] = make(map[string]*stats.Agg)
+			for _, cfg := range configs {
+				aggs[m][method][cfg.Name] = &stats.Agg{}
+			}
+		}
+	}
+
+	// The ground-truth and sampled simulations are independent per
+	// (configuration, benchmark) pair; run each configuration's
+	// benchmarks in parallel, then aggregate in suite order so worst
+	// cases and averages stay deterministic.
+	type devs struct{ cpi, l1, l2 [3]float64 }
+	for _, cfg := range configs {
+		results := make([]devs, len(st.Plans))
+		cfg := cfg
+		err := forEachIndex(len(st.Plans), func(i int) error {
+			pl := st.Plans[i]
+			p, err := pl.Spec.Program(st.Opts.Size)
+			if err != nil {
+				return err
+			}
+			truth, _, err := pipeline.FullDetailed(p, cfg)
+			if err != nil {
+				return err
+			}
+			for mi, method := range Methods() {
+				plan, err := pl.ByMethod(method)
+				if err != nil {
+					return err
+				}
+				est, err := pipeline.ExecutePlan(p, plan, cfg, pipeline.ExecOptions{
+					Warmup:       st.Opts.Warmup,
+					DetailLeadIn: st.Opts.DetailLeadIn,
+					RunAhead:     st.Opts.RunAhead,
+				})
+				if err != nil {
+					return fmt.Errorf("experiments: %s/%s under config %s: %w", pl.Spec.Name, method, cfg.Name, err)
+				}
+				results[i].cpi[mi], results[i].l1[mi], results[i].l2[mi] = pipeline.Deviations(est, truth)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, pl := range st.Plans {
+			for mi, method := range Methods() {
+				aggs["CPI"][method][cfg.Name].Add(pl.Spec.Name, results[i].cpi[mi])
+				aggs["L1 Cache Hit"][method][cfg.Name].Add(pl.Spec.Name, results[i].l1[mi])
+				aggs["L2 Cache Hit"][method][cfg.Name].Add(pl.Spec.Name, results[i].l2[mi])
+			}
+		}
+	}
+
+	for _, m := range metrics {
+		for _, method := range Methods() {
+			for _, cfg := range configs {
+				a := aggs[m][method][cfg.Name]
+				worst, bench := a.Worst()
+				res.Cells[m][method][cfg.Name] = DevCell{Avg: a.Avg(), Worst: worst, WorstBench: bench}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig1Result carries the two phase trajectories of Figure 1.
+type Fig1Result struct {
+	Benchmark string
+	// Fine is the first principal component of each fixed-length
+	// interval's BBV; FineMarks flags selected simulation points.
+	Fine      []float64
+	FineMarks []bool
+	// Coarse is the same for iteration intervals under COASTS.
+	Coarse      []float64
+	CoarseMarks []bool
+}
+
+// Fig1 reproduces Figure 1 for a benchmark (the paper uses lucas):
+// BBV trajectories under fine and coarse granularity with the
+// selected simulation points marked.
+func Fig1(o Options, benchmark string) (*Fig1Result, error) {
+	o = o.withDefaults()
+	spec, err := bench.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	p, err := spec.Program(o.Size)
+	if err != nil {
+		return nil, err
+	}
+
+	fineTrace, err := simpoint.Profile(p, o.fineConfig())
+	if err != nil {
+		return nil, err
+	}
+	finePlan, _, err := simpoint.SelectFromTrace(fineTrace, o.fineConfig())
+	if err != nil {
+		return nil, err
+	}
+	finePCA, err := linalg.FitPCA(fineTrace.Vectors())
+	if err != nil {
+		return nil, err
+	}
+
+	coarsePlan, coarseTrace, _, err := coasts.Select(p, o.coarseConfig())
+	if err != nil {
+		return nil, err
+	}
+	coarsePCA, err := linalg.FitPCA(coarseTrace.Vectors())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig1Result{
+		Benchmark:   benchmark,
+		Fine:        finePCA.FirstComponent(fineTrace.Vectors()),
+		FineMarks:   make([]bool, len(fineTrace.Intervals)),
+		Coarse:      coarsePCA.FirstComponent(coarseTrace.Vectors()),
+		CoarseMarks: make([]bool, len(coarseTrace.Intervals)),
+	}
+	for _, pt := range finePlan.Points {
+		res.FineMarks[pt.Interval] = true
+	}
+	for _, pt := range coarsePlan.Points {
+		res.CoarseMarks[pt.Interval] = true
+	}
+	return res, nil
+}
+
+// Roughness quantifies Figure 1's visual contrast: the mean absolute
+// step between consecutive trajectory samples, normalized by the
+// trajectory's range. Fine-grained trajectories are "chaotic with
+// violent changes" (high roughness); coarse ones are smooth.
+func Roughness(ys []float64) float64 {
+	if len(ys) < 2 {
+		return 0
+	}
+	minY, maxY := ys[0], ys[0]
+	var step float64
+	for i := 1; i < len(ys); i++ {
+		d := ys[i] - ys[i-1]
+		if d < 0 {
+			d = -d
+		}
+		step += d
+		if ys[i] < minY {
+			minY = ys[i]
+		}
+		if ys[i] > maxY {
+			maxY = ys[i]
+		}
+	}
+	if maxY == minY {
+		return 0
+	}
+	return step / float64(len(ys)-1) / (maxY - minY)
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"mlpa/internal/bench"
+	"mlpa/internal/config"
+	"mlpa/internal/cpu"
+)
+
+// tinyOpts keeps experiment tests fast: three benchmarks at tiny size.
+func tinyOpts() Options {
+	return Options{
+		Size:       bench.SizeTiny,
+		Seed:       1,
+		Benchmarks: []string{"gzip", "lucas", "swim"},
+	}
+}
+
+func newTinyStudy(t *testing.T) *Study {
+	t.Helper()
+	st, err := NewStudy(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestNewStudySelectsAllMethods(t *testing.T) {
+	st := newTinyStudy(t)
+	if len(st.Plans) != 3 {
+		t.Fatalf("plans for %d benchmarks, want 3", len(st.Plans))
+	}
+	for _, pl := range st.Plans {
+		if pl.SimPoint == nil || pl.Coasts == nil || pl.MultiLevel == nil {
+			t.Fatalf("%s: missing plans", pl.Spec.Name)
+		}
+		for _, m := range Methods() {
+			p, err := pl.ByMethod(m)
+			if err != nil || p == nil {
+				t.Errorf("%s: ByMethod(%s) = %v, %v", pl.Spec.Name, m, p, err)
+			}
+		}
+		if _, err := pl.ByMethod("nope"); err == nil {
+			t.Error("unknown method accepted")
+		}
+	}
+}
+
+func TestNewStudyUnknownBenchmark(t *testing.T) {
+	o := tinyOpts()
+	o.Benchmarks = []string{"nonexistent"}
+	if _, err := NewStudy(o); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestFig3AndFig4Shapes(t *testing.T) {
+	st := newTinyStudy(t)
+	f3, err := st.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4, err := st.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3.Rows) != 3 || len(f4.Rows) != 3 {
+		t.Fatalf("rows = %d, %d", len(f3.Rows), len(f4.Rows))
+	}
+	if math.IsNaN(f3.GeoMean) || math.IsNaN(f4.GeoMean) {
+		t.Fatal("NaN geomeans")
+	}
+	for i := range f3.Rows {
+		if f3.Rows[i].Speedup <= 0 || f4.Rows[i].Speedup <= 0 {
+			t.Errorf("non-positive speedup: %+v %+v", f3.Rows[i], f4.Rows[i])
+		}
+	}
+	// Multi-level must not be slower than COASTS overall: it only
+	// shrinks detailed work at a small functional cost.
+	if f4.GeoMean < f3.GeoMean*0.8 {
+		t.Errorf("multi-level geomean %v far below COASTS %v", f4.GeoMean, f3.GeoMean)
+	}
+}
+
+func TestTable3Structure(t *testing.T) {
+	st := newTinyStudy(t)
+	rows, err := st.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byMethod := map[string]Table3Row{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+	}
+	co, sp, ml := byMethod[MethodCoasts], byMethod[MethodSimPoint], byMethod[MethodMultiLevel]
+	// Table III orderings from the paper:
+	// coarse intervals are much larger than fine ones,
+	if co.MeanIntervalSize <= sp.MeanIntervalSize {
+		t.Errorf("coarse interval %v <= fine %v", co.MeanIntervalSize, sp.MeanIntervalSize)
+	}
+	// COASTS uses far fewer samples,
+	if co.MeanSampleNumber >= sp.MeanSampleNumber {
+		t.Errorf("COASTS samples %v >= SimPoint %v", co.MeanSampleNumber, sp.MeanSampleNumber)
+	}
+	// SimPoint's functional portion dominates everyone else's,
+	if sp.MeanFunctionalPct <= co.MeanFunctionalPct || sp.MeanFunctionalPct <= ml.MeanFunctionalPct {
+		t.Errorf("SimPoint functional %v not dominant (coasts %v, ml %v)",
+			sp.MeanFunctionalPct, co.MeanFunctionalPct, ml.MeanFunctionalPct)
+	}
+	// and multi-level cuts COASTS's detailed portion.
+	if ml.MeanDetailPct >= co.MeanDetailPct {
+		t.Errorf("multi-level detail %v >= COASTS %v", ml.MeanDetailPct, co.MeanDetailPct)
+	}
+}
+
+func TestTable2TinySingleConfig(t *testing.T) {
+	o := tinyOpts()
+	o.Benchmarks = []string{"gzip"}
+	st, err := NewStudy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Table2([]cpu.Config{config.BaseA()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Metrics) != 3 {
+		t.Fatalf("metrics = %v", res.Metrics)
+	}
+	for _, m := range res.Metrics {
+		for _, method := range Methods() {
+			cell, ok := res.Cells[m][method]["A"]
+			if !ok {
+				t.Fatalf("missing cell %s/%s/A", m, method)
+			}
+			if math.IsNaN(cell.Avg) || cell.Avg < 0 {
+				t.Errorf("%s/%s avg = %v", m, method, cell.Avg)
+			}
+			if cell.Worst < cell.Avg {
+				t.Errorf("%s/%s worst %v < avg %v", m, method, cell.Worst, cell.Avg)
+			}
+			if cell.WorstBench == "" && cell.Worst > 0 {
+				t.Errorf("%s/%s worst bench missing", m, method)
+			}
+		}
+	}
+	// Accuracy sanity: no method should be catastrophically wrong on
+	// CPI at tiny scale with warmup.
+	for _, method := range Methods() {
+		if avg := res.Cells["CPI"][method]["A"].Avg; avg > 0.6 {
+			t.Errorf("CPI avg deviation for %s = %v", method, avg)
+		}
+	}
+}
+
+func TestFig1LucasContrast(t *testing.T) {
+	res, err := Fig1(tinyOpts(), "lucas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fine) < 10 || len(res.Coarse) < 5 {
+		t.Fatalf("trajectory lengths %d, %d", len(res.Fine), len(res.Coarse))
+	}
+	if len(res.Fine) != len(res.FineMarks) || len(res.Coarse) != len(res.CoarseMarks) {
+		t.Fatal("marks misaligned")
+	}
+	// The paper's point: fine trajectories are chaotic, coarse smooth.
+	rf, rc := Roughness(res.Fine), Roughness(res.Coarse)
+	if rf <= rc {
+		t.Errorf("fine roughness %v <= coarse %v", rf, rc)
+	}
+	// The coarse trace has far fewer intervals.
+	if len(res.Coarse)*5 > len(res.Fine) {
+		t.Errorf("coarse intervals %d not much fewer than fine %d", len(res.Coarse), len(res.Fine))
+	}
+	// At least one mark per trajectory.
+	anyMark := func(ms []bool) bool {
+		for _, m := range ms {
+			if m {
+				return true
+			}
+		}
+		return false
+	}
+	if !anyMark(res.FineMarks) || !anyMark(res.CoarseMarks) {
+		t.Error("missing simulation-point marks")
+	}
+}
+
+func TestFig1UnknownBenchmark(t *testing.T) {
+	if _, err := Fig1(tinyOpts(), "bogus"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRoughness(t *testing.T) {
+	if got := Roughness([]float64{1, 1, 1}); got != 0 {
+		t.Errorf("flat roughness = %v", got)
+	}
+	if got := Roughness([]float64{5}); got != 0 {
+		t.Errorf("single-sample roughness = %v", got)
+	}
+	smooth := Roughness([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	rough := Roughness([]float64{0, 7, 0, 7, 0, 7, 0, 7})
+	if rough <= smooth {
+		t.Errorf("rough %v <= smooth %v", rough, smooth)
+	}
+}
+
+func TestMethodsList(t *testing.T) {
+	ms := Methods()
+	if len(ms) != 3 {
+		t.Fatalf("methods = %v", ms)
+	}
+	if ms[0] != "coasts" || ms[1] != "simpoint" || ms[2] != "multilevel" {
+		t.Errorf("methods = %v", ms)
+	}
+}

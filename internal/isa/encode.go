@@ -1,0 +1,92 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding of instructions. Each instruction packs into 16
+// bytes (a word pair): one control word holding opcode and registers,
+// and one 64-bit payload holding the immediate or target. The encoding
+// exists for the trace/serialization substrate and for checkpointing,
+// not for density.
+
+// EncodedSize is the number of bytes one instruction occupies in the
+// binary encoding.
+const EncodedSize = 16
+
+// immediate-bearing opcodes store Imm in the payload; control-flow
+// opcodes store Targ. Memory ops store Imm (displacement).
+func usesTarget(op Op) bool {
+	switch op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpJal:
+		return true
+	}
+	return false
+}
+
+// Encode writes the instruction into buf, which must be at least
+// EncodedSize bytes long, and returns EncodedSize.
+func Encode(in Inst, buf []byte) int {
+	_ = buf[EncodedSize-1]
+	buf[0] = byte(in.Op)
+	buf[1] = byte(in.Rd)
+	buf[2] = byte(in.Rs1)
+	buf[3] = byte(in.Rs2)
+	buf[4], buf[5], buf[6], buf[7] = 0, 0, 0, 0
+	payload := in.Imm
+	if usesTarget(in.Op) {
+		payload = in.Targ
+	}
+	binary.LittleEndian.PutUint64(buf[8:], uint64(payload))
+	return EncodedSize
+}
+
+// Decode parses one instruction from buf.
+func Decode(buf []byte) (Inst, error) {
+	if len(buf) < EncodedSize {
+		return Inst{}, fmt.Errorf("isa: short instruction encoding: %d bytes", len(buf))
+	}
+	op := Op(buf[0])
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode %d", buf[0])
+	}
+	in := Inst{
+		Op:  op,
+		Rd:  Reg(buf[1]),
+		Rs1: Reg(buf[2]),
+		Rs2: Reg(buf[3]),
+	}
+	payload := int64(binary.LittleEndian.Uint64(buf[8:]))
+	if usesTarget(op) {
+		in.Targ = payload
+	} else {
+		in.Imm = payload
+	}
+	return in, nil
+}
+
+// EncodeProgram encodes a full instruction slice.
+func EncodeProgram(code []Inst) []byte {
+	out := make([]byte, len(code)*EncodedSize)
+	for i, in := range code {
+		Encode(in, out[i*EncodedSize:])
+	}
+	return out
+}
+
+// DecodeProgram decodes a byte stream produced by EncodeProgram.
+func DecodeProgram(data []byte) ([]Inst, error) {
+	if len(data)%EncodedSize != 0 {
+		return nil, fmt.Errorf("isa: program encoding length %d not a multiple of %d", len(data), EncodedSize)
+	}
+	code := make([]Inst, len(data)/EncodedSize)
+	for i := range code {
+		in, err := Decode(data[i*EncodedSize:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		code[i] = in
+	}
+	return code, nil
+}

@@ -1,0 +1,340 @@
+// Package isa defines the mini RISC instruction set used by the
+// functional emulator and the detailed out-of-order timing model.
+//
+// The ISA is a stand-in for SimpleScalar's PISA: a load/store
+// architecture with 32 integer and 32 floating-point registers,
+// fixed-size instructions and a small, orthogonal opcode set. It is
+// deliberately simple — the sampling framework only needs a
+// deterministic committed-instruction stream with realistic control
+// flow and memory behaviour, not a full commercial ISA.
+package isa
+
+import "fmt"
+
+// NumIntRegs and NumFPRegs are the architectural register-file sizes
+// (32 integer, 32 floating point, per Table I of the paper).
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+)
+
+// Reg names an architectural register. Integer registers are
+// [0, NumIntRegs); floating-point registers are offset by FPBase so a
+// single namespace covers both files.
+type Reg uint8
+
+// FPBase is the offset of the floating-point register file within the
+// unified Reg namespace.
+const FPBase Reg = 32
+
+// Conventional integer register roles. R0 is hard-wired to zero, like
+// MIPS $zero; writes to it are discarded.
+const (
+	RZero Reg = 0  // always reads as 0
+	RSP   Reg = 29 // stack pointer by convention
+	RRA   Reg = 31 // link register for JAL
+)
+
+// F returns the unified-namespace register for floating-point register
+// number i.
+func F(i int) Reg { return FPBase + Reg(i) }
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= FPBase }
+
+// String renders the register in assembly syntax (r0..r31, f0..f31).
+func (r Reg) String() string {
+	if r.IsFP() {
+		return fmt.Sprintf("f%d", int(r-FPBase))
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+// Op is an operation code.
+type Op uint8
+
+// Opcode space. Grouped by functional class; Class() derives the
+// class used for functional-unit scheduling in the timing model.
+const (
+	OpNop Op = iota
+
+	// Integer ALU, register-register.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpSlt // set-less-than
+
+	// Integer ALU, register-immediate.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpShli
+	OpShri
+	OpSlti
+	OpLui // load upper immediate (rd = imm << 16)
+
+	// Memory.
+	OpLd  // rd = mem[rs1+imm] (64-bit int)
+	OpSt  // mem[rs1+imm] = rs2
+	OpFld // fd = mem[rs1+imm] (float64)
+	OpFst // mem[rs1+imm] = fs2
+
+	// Floating point.
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFneg
+	OpFmov
+	OpCvtIF // int -> float
+	OpCvtFI // float -> int (truncate)
+	OpFcmpLt
+	OpFcmpEq
+
+	// Control.
+	OpBeq // branch if rs1 == rs2
+	OpBne
+	OpBlt
+	OpBge
+	OpJmp // unconditional direct jump
+	OpJal // jump and link (rd = return address)
+	OpJr  // jump register (indirect)
+	OpHalt
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// Class partitions opcodes by the functional unit that executes them
+// in the detailed model.
+type Class uint8
+
+// Functional-unit classes, mirroring SimpleScalar's resource pools
+// (Table I: integer ALU, load/store units, FP adders, integer
+// MULT/DIV, FP MULT/DIV).
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul // integer multiply/divide
+	ClassLoad
+	ClassStore
+	ClassFPAdd // FP add/sub/compare/convert/move
+	ClassFPMul // FP multiply/divide
+	ClassBranch
+	NumClasses
+)
+
+var opInfo = [NumOps]struct {
+	name  string
+	class Class
+}{
+	OpNop:    {"nop", ClassNop},
+	OpAdd:    {"add", ClassIntALU},
+	OpSub:    {"sub", ClassIntALU},
+	OpMul:    {"mul", ClassIntMul},
+	OpDiv:    {"div", ClassIntMul},
+	OpRem:    {"rem", ClassIntMul},
+	OpAnd:    {"and", ClassIntALU},
+	OpOr:     {"or", ClassIntALU},
+	OpXor:    {"xor", ClassIntALU},
+	OpShl:    {"shl", ClassIntALU},
+	OpShr:    {"shr", ClassIntALU},
+	OpSlt:    {"slt", ClassIntALU},
+	OpAddi:   {"addi", ClassIntALU},
+	OpAndi:   {"andi", ClassIntALU},
+	OpOri:    {"ori", ClassIntALU},
+	OpXori:   {"xori", ClassIntALU},
+	OpShli:   {"shli", ClassIntALU},
+	OpShri:   {"shri", ClassIntALU},
+	OpSlti:   {"slti", ClassIntALU},
+	OpLui:    {"lui", ClassIntALU},
+	OpLd:     {"ld", ClassLoad},
+	OpSt:     {"st", ClassStore},
+	OpFld:    {"fld", ClassLoad},
+	OpFst:    {"fst", ClassStore},
+	OpFadd:   {"fadd", ClassFPAdd},
+	OpFsub:   {"fsub", ClassFPAdd},
+	OpFmul:   {"fmul", ClassFPMul},
+	OpFdiv:   {"fdiv", ClassFPMul},
+	OpFneg:   {"fneg", ClassFPAdd},
+	OpFmov:   {"fmov", ClassFPAdd},
+	OpCvtIF:  {"cvtif", ClassFPAdd},
+	OpCvtFI:  {"cvtfi", ClassFPAdd},
+	OpFcmpLt: {"fcmplt", ClassFPAdd},
+	OpFcmpEq: {"fcmpeq", ClassFPAdd},
+	OpBeq:    {"beq", ClassBranch},
+	OpBne:    {"bne", ClassBranch},
+	OpBlt:    {"blt", ClassBranch},
+	OpBge:    {"bge", ClassBranch},
+	OpJmp:    {"jmp", ClassBranch},
+	OpJal:    {"jal", ClassBranch},
+	OpJr:     {"jr", ClassBranch},
+	OpHalt:   {"halt", ClassNop},
+}
+
+// String returns the assembly mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < NumOps {
+		return opInfo[o].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class returns the functional-unit class executing o.
+func (o Op) Class() Class {
+	if int(o) < NumOps {
+		return opInfo[o].class
+	}
+	return ClassNop
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return int(o) < NumOps }
+
+// IsBranch reports whether the opcode redirects control flow.
+func (o Op) IsBranch() bool { return o.Class() == ClassBranch }
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Op) IsCondBranch() bool {
+	switch o {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the opcode accesses data memory.
+func (o Op) IsMem() bool {
+	c := o.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsLoad reports whether the opcode is a memory load.
+func (o Op) IsLoad() bool { return o.Class() == ClassLoad }
+
+// IsStore reports whether the opcode is a memory store.
+func (o Op) IsStore() bool { return o.Class() == ClassStore }
+
+// IsFP reports whether the opcode executes in the FP pipeline.
+func (o Op) IsFP() bool {
+	c := o.Class()
+	return c == ClassFPAdd || c == ClassFPMul
+}
+
+// Inst is a decoded instruction. PC-relative targets of branches are
+// held as absolute instruction indices (the program counter counts
+// instructions, not bytes; InstBytes converts for cache indexing).
+type Inst struct {
+	Op   Op
+	Rd   Reg   // destination (integer or FP namespace)
+	Rs1  Reg   // first source
+	Rs2  Reg   // second source
+	Imm  int64 // immediate / displacement
+	Targ int64 // absolute branch/jump target (instruction index)
+}
+
+// InstBytes is the architectural size of one instruction in bytes,
+// used to derive instruction-cache addresses from PC indices.
+const InstBytes = 8
+
+// Dests returns the destination register, if any, and whether one
+// exists. R0 never counts as a destination.
+func (in *Inst) Dests() (Reg, bool) {
+	switch in.Op {
+	case OpNop, OpHalt, OpSt, OpFst, OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpJr:
+		return 0, false
+	}
+	if in.Rd == RZero {
+		return 0, false
+	}
+	return in.Rd, true
+}
+
+// Sources appends the source registers of the instruction to dst and
+// returns the extended slice. R0 is excluded (it has no producer).
+func (in *Inst) Sources(dst []Reg) []Reg {
+	add := func(r Reg) {
+		if r != RZero {
+			dst = append(dst, r)
+		}
+	}
+	switch in.Op {
+	case OpNop, OpHalt, OpJmp, OpJal, OpLui:
+		// no register sources
+	case OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpSlti, OpLd, OpFld, OpJr:
+		add(in.Rs1)
+	case OpSt, OpFst:
+		add(in.Rs1)
+		add(in.Rs2)
+	case OpFneg, OpFmov, OpCvtIF, OpCvtFI:
+		add(in.Rs1)
+	default:
+		add(in.Rs1)
+		add(in.Rs2)
+	}
+	return dst
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch in.Op {
+	case OpNop, OpHalt:
+		return in.Op.String()
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", in.Targ)
+	case OpJal:
+		return fmt.Sprintf("jal %s, %d", in.Rd, in.Targ)
+	case OpJr:
+		return fmt.Sprintf("jr %s", in.Rs1)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rs1, in.Rs2, in.Targ)
+	case OpLd, OpFld:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case OpSt, OpFst:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpSlti:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case OpLui:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case OpFneg, OpFmov, OpCvtIF, OpCvtFI:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}
+
+// Latency returns the execution latency in cycles of the opcode on its
+// functional unit, mirroring SimpleScalar's defaults.
+func (o Op) Latency() int {
+	switch o.Class() {
+	case ClassIntALU:
+		return 1
+	case ClassIntMul:
+		if o == OpMul {
+			return 3
+		}
+		return 12 // div/rem
+	case ClassLoad, ClassStore:
+		return 1 // address generation; cache latency added separately
+	case ClassFPAdd:
+		return 2
+	case ClassFPMul:
+		if o == OpFmul {
+			return 4
+		}
+		return 12 // fdiv
+	case ClassBranch:
+		return 1
+	}
+	return 1
+}

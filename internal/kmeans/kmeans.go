@@ -1,0 +1,349 @@
+// Package kmeans implements the clustering stage of the SimPoint
+// pipeline: Lloyd's k-means with k-means++ seeding, deterministic
+// multi-restart, empty-cluster repair, and Bayesian Information
+// Criterion (BIC) model selection over k = 1..Kmax using the
+// Pelleg-Moore (X-means) approximation, with SimPoint's rule of
+// choosing the smallest k whose BIC reaches a fixed fraction of the
+// observed BIC range.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mlpa/internal/linalg"
+)
+
+// Options controls clustering.
+type Options struct {
+	// Seed makes runs deterministic. Two identical calls always
+	// return identical results.
+	Seed int64
+	// MaxIters bounds Lloyd iterations per restart (default 100).
+	MaxIters int
+	// Restarts is the number of seeded attempts per k; the attempt
+	// with the lowest inertia wins (default 3).
+	Restarts int
+	// BICFraction is the fraction of the BIC range a k must reach to
+	// be chosen by Best (default 0.9, the SimPoint setting).
+	BICFraction float64
+	// SampleCap, when positive, clusters a deterministic stride sample
+	// of at most this many points and then assigns every point to the
+	// nearest sample centroid — the technique SimPoint uses to bound
+	// clustering cost on long traces. 0 clusters all points.
+	SampleCap int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 100
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 3
+	}
+	if o.BICFraction <= 0 || o.BICFraction > 1 {
+		o.BICFraction = 0.9
+	}
+	return o
+}
+
+// Result is one clustering of the data.
+type Result struct {
+	K         int
+	Assign    []int       // Assign[i] = cluster of point i
+	Centroids [][]float64 // K centroids
+	Sizes     []int       // points per cluster
+	Inertia   float64     // total within-cluster squared distance
+	BIC       float64
+}
+
+// Cluster runs k-means for a fixed k.
+func Cluster(points [][]float64, k int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("kmeans: k = %d < 1", k)
+	}
+	if k > n {
+		k = n
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("kmeans: point %d has dimension %d, want %d", i, len(p), d)
+		}
+	}
+
+	clusterSet := points
+	var sampleStride int
+	if opts.SampleCap > 0 && n > opts.SampleCap {
+		sampleStride = (n + opts.SampleCap - 1) / opts.SampleCap
+		clusterSet = make([][]float64, 0, opts.SampleCap+1)
+		for i := 0; i < n; i += sampleStride {
+			clusterSet = append(clusterSet, points[i])
+		}
+		if k > len(clusterSet) {
+			k = len(clusterSet)
+		}
+	}
+
+	var best *Result
+	for r := 0; r < opts.Restarts; r++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(r)*7919))
+		res := lloyd(clusterSet, k, rng, opts.MaxIters)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	if sampleStride > 0 {
+		best = assignAll(points, best)
+	}
+	best.BIC = bic(points, best)
+	return best, nil
+}
+
+// assignAll maps every point to the nearest centroid of a clustering
+// computed on a sample, recomputing sizes and inertia.
+func assignAll(points [][]float64, r *Result) *Result {
+	out := &Result{
+		K:         r.K,
+		Assign:    make([]int, len(points)),
+		Centroids: r.Centroids,
+		Sizes:     make([]int, r.K),
+	}
+	for i, p := range points {
+		bi, bd := 0, math.Inf(1)
+		for c := range r.Centroids {
+			if dd := linalg.Dist2(p, r.Centroids[c]); dd < bd {
+				bi, bd = c, dd
+			}
+		}
+		out.Assign[i] = bi
+		out.Sizes[bi]++
+		out.Inertia += bd
+	}
+	return out
+}
+
+// lloyd runs one seeded k-means attempt.
+func lloyd(points [][]float64, k int, rng *rand.Rand, maxIters int) *Result {
+	n := len(points)
+	cents := seedPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int, k)
+
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, p := range points {
+			bi, bd := 0, math.Inf(1)
+			for c := range cents {
+				if dd := linalg.Dist2(p, cents[c]); dd < bd {
+					bi, bd = c, dd
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		for c := range cents {
+			for j := range cents[c] {
+				cents[c][j] = 0
+			}
+			sizes[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			sizes[c]++
+			linalg.AXPY(cents[c], 1, p)
+		}
+		for c := range cents {
+			if sizes[c] == 0 {
+				// Empty cluster: re-seed at the point farthest from
+				// its centroid.
+				far, fd := 0, -1.0
+				for i, p := range points {
+					if dd := linalg.Dist2(p, cents[assign[i]]); dd > fd && sizes[assign[i]] > 1 {
+						far, fd = i, dd
+					}
+				}
+				copy(cents[c], points[far])
+				sizes[assign[far]]--
+				assign[far] = c
+				sizes[c] = 1
+				continue
+			}
+			linalg.Scale(cents[c], 1/float64(sizes[c]))
+		}
+	}
+
+	// Final sizes and inertia.
+	for c := range sizes {
+		sizes[c] = 0
+	}
+	var inertia float64
+	for i, p := range points {
+		sizes[assign[i]]++
+		inertia += linalg.Dist2(p, cents[assign[i]])
+	}
+	return &Result{K: k, Assign: assign, Centroids: cents, Sizes: sizes, Inertia: inertia}
+}
+
+// seedPlusPlus picks k initial centroids by k-means++ sampling.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	cents := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	cents = append(cents, append([]float64(nil), points[first]...))
+	dists := make([]float64, n)
+	for len(cents) < k {
+		var total float64
+		for i, p := range points {
+			dd := math.Inf(1)
+			for _, c := range cents {
+				if v := linalg.Dist2(p, c); v < dd {
+					dd = v
+				}
+			}
+			dists[i] = dd
+			total += dd
+		}
+		if total == 0 {
+			// All remaining points coincide with existing centroids.
+			cents = append(cents, append([]float64(nil), points[rng.Intn(n)]...))
+			continue
+		}
+		target := rng.Float64() * total
+		idx := 0
+		for i, dd := range dists {
+			target -= dd
+			if target <= 0 {
+				idx = i
+				break
+			}
+		}
+		cents = append(cents, append([]float64(nil), points[idx]...))
+	}
+	return cents
+}
+
+// bic scores a clustering with the Pelleg-Moore spherical-Gaussian
+// approximation; higher is better.
+func bic(points [][]float64, r *Result) float64 {
+	n := float64(len(points))
+	d := float64(len(points[0]))
+	k := float64(r.K)
+	variance := r.Inertia / math.Max(n-k, 1)
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	var ll float64
+	for _, sz := range r.Sizes {
+		if sz == 0 {
+			continue
+		}
+		rn := float64(sz)
+		ll += rn*math.Log(rn) -
+			rn*math.Log(n) -
+			rn*d/2*math.Log(2*math.Pi*variance) -
+			(rn-1)*d/2
+	}
+	params := k * (d + 1)
+	return ll - params/2*math.Log(n)
+}
+
+// Best clusters for every k in 1..kmax and applies SimPoint's
+// selection rule: the smallest k whose BIC reaches
+// min + BICFraction*(max-min) over the scored range.
+func Best(points [][]float64, kmax int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if kmax < 1 {
+		return nil, fmt.Errorf("kmeans: kmax = %d < 1", kmax)
+	}
+	if kmax > len(points) {
+		kmax = len(points)
+	}
+	results := make([]*Result, 0, kmax)
+	minBIC, maxBIC := math.Inf(1), math.Inf(-1)
+	for k := 1; k <= kmax; k++ {
+		r, err := Cluster(points, k, opts)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+		minBIC = math.Min(minBIC, r.BIC)
+		maxBIC = math.Max(maxBIC, r.BIC)
+	}
+	threshold := minBIC + opts.BICFraction*(maxBIC-minBIC)
+	for _, r := range results {
+		if r.BIC >= threshold {
+			return r, nil
+		}
+	}
+	return results[len(results)-1], nil
+}
+
+// NearestToCentroid returns, for each cluster, the index of the point
+// closest to its centroid (SimPoint's representative selection).
+// Among members indistinguishably close to the centroid — common in
+// synthetic traces where many intervals have identical signatures —
+// the member at the median candidate position wins, so ties do not
+// systematically elect the earliest (often transient-polluted)
+// instance.
+func NearestToCentroid(points [][]float64, r *Result) []int {
+	best := make([]float64, r.K)
+	for c := range best {
+		best[c] = math.Inf(1)
+	}
+	for i, p := range points {
+		c := r.Assign[i]
+		if dd := linalg.Dist2(p, r.Centroids[c]); dd < best[c] {
+			best[c] = dd
+		}
+	}
+	// Collect near-ties and pick each cluster's median candidate.
+	candidates := make([][]int, r.K)
+	for i, p := range points {
+		c := r.Assign[i]
+		dd := linalg.Dist2(p, r.Centroids[c])
+		if dd <= best[c]*(1+1e-9)+1e-18 {
+			candidates[c] = append(candidates[c], i)
+		}
+	}
+	reps := make([]int, r.K)
+	for c := range reps {
+		if len(candidates[c]) == 0 {
+			reps[c] = -1
+			continue
+		}
+		reps[c] = candidates[c][len(candidates[c])/2]
+	}
+	return reps
+}
+
+// EarliestInCluster returns, for each cluster, the smallest point
+// index assigned to it (COASTS's earliest-instance representative
+// selection; point order is execution order).
+func EarliestInCluster(r *Result) []int {
+	reps := make([]int, r.K)
+	for c := range reps {
+		reps[c] = -1
+	}
+	for i, c := range r.Assign {
+		if reps[c] == -1 {
+			reps[c] = i
+		}
+	}
+	return reps
+}

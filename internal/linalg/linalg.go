@@ -1,0 +1,274 @@
+// Package linalg provides the small dense linear-algebra kernel the
+// phase-analysis pipeline needs: vector arithmetic, covariance
+// matrices, a Jacobi eigensolver for symmetric matrices, and PCA
+// (used to project BBV trajectories onto their first principal
+// component for Figure 1).
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dot returns the inner product of a and b, which must have equal
+// length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Dist2 returns the squared Euclidean distance between a and b.
+func Dist2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dist2 length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 { return math.Sqrt(Dist2(a, b)) }
+
+// AXPY computes dst += alpha * x element-wise.
+func AXPY(dst []float64, alpha float64, x []float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("linalg: AXPY length mismatch %d != %d", len(dst), len(x)))
+	}
+	for i := range dst {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(v []float64, alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// NormalizeL1 scales v so its elements sum to 1 (the BBV
+// normalization of the SimPoint pipeline). A zero vector is left
+// unchanged.
+func NormalizeL1(v []float64) {
+	var sum float64
+	for _, x := range v {
+		sum += math.Abs(x)
+	}
+	if sum == 0 {
+		return
+	}
+	Scale(v, 1/sum)
+}
+
+// Mean returns the element-wise mean of the rows.
+func Mean(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	mu := make([]float64, len(rows[0]))
+	for _, r := range rows {
+		AXPY(mu, 1, r)
+	}
+	Scale(mu, 1/float64(len(rows)))
+	return mu
+}
+
+// Covariance returns the sample covariance matrix of the rows
+// (observations in rows, variables in columns), as a dense d x d
+// symmetric matrix in row-major order.
+func Covariance(rows [][]float64) [][]float64 {
+	n := len(rows)
+	if n == 0 {
+		return nil
+	}
+	d := len(rows[0])
+	mu := Mean(rows)
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	denom := float64(n - 1)
+	if n == 1 {
+		denom = 1
+	}
+	centered := make([]float64, d)
+	for _, r := range rows {
+		for i := range r {
+			centered[i] = r[i] - mu[i]
+		}
+		for i := 0; i < d; i++ {
+			ci := centered[i]
+			if ci == 0 {
+				continue
+			}
+			row := cov[i]
+			for j := i; j < d; j++ {
+				row[j] += ci * centered[j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i][j] /= denom
+			cov[j][i] = cov[i][j]
+		}
+	}
+	return cov
+}
+
+// JacobiEigen diagonalizes the symmetric matrix a (which it does not
+// modify) and returns eigenvalues in descending order with their
+// eigenvectors as rows of vecs. It fails if a is not square or does
+// not converge.
+func JacobiEigen(a [][]float64) (vals []float64, vecs [][]float64, err error) {
+	n := len(a)
+	for _, row := range a {
+		if len(row) != n {
+			return nil, nil, fmt.Errorf("linalg: JacobiEigen: matrix not square")
+		}
+	}
+	if n == 0 {
+		return nil, nil, nil
+	}
+	// Working copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	// Eigenvector accumulator starts as identity.
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+
+	offdiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += m[i][j] * m[i][j]
+			}
+		}
+		return s
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if offdiag() < 1e-22 {
+			break
+		}
+		if sweep == maxSweeps-1 {
+			return nil, nil, fmt.Errorf("linalg: JacobiEigen did not converge in %d sweeps", maxSweeps)
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-300 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/cols p and q of m.
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				// Accumulate rotation into v (rows are eigenvectors).
+				for k := 0; k < n; k++ {
+					vpk, vqk := v[p][k], v[q][k]
+					v[p][k] = c*vpk - s*vqk
+					v[q][k] = s*vpk + c*vqk
+				}
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = m[i][i]
+	}
+	// Sort descending by eigenvalue, carrying eigenvectors along.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return vals[order[i]] > vals[order[j]] })
+	outVals := make([]float64, n)
+	outVecs := make([][]float64, n)
+	for i, o := range order {
+		outVals[i] = vals[o]
+		outVecs[i] = v[o]
+	}
+	return outVals, outVecs, nil
+}
+
+// PCA holds a principal-component basis fitted to a data set.
+type PCA struct {
+	MeanVec    []float64
+	Components [][]float64 // rows: principal directions, descending variance
+	Variances  []float64   // eigenvalues
+}
+
+// FitPCA computes the PCA basis of rows.
+func FitPCA(rows [][]float64) (*PCA, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("linalg: FitPCA on empty data")
+	}
+	cov := Covariance(rows)
+	vals, vecs, err := JacobiEigen(cov)
+	if err != nil {
+		return nil, err
+	}
+	return &PCA{MeanVec: Mean(rows), Components: vecs, Variances: vals}, nil
+}
+
+// Project returns the coordinates of v in the first k principal
+// components.
+func (p *PCA) Project(v []float64, k int) []float64 {
+	if k > len(p.Components) {
+		k = len(p.Components)
+	}
+	out := make([]float64, k)
+	centered := make([]float64, len(v))
+	for i := range v {
+		centered[i] = v[i] - p.MeanVec[i]
+	}
+	for i := 0; i < k; i++ {
+		out[i] = Dot(p.Components[i], centered)
+	}
+	return out
+}
+
+// FirstComponent projects each row onto the first principal component
+// (the y-axis of the paper's Figure 1).
+func (p *PCA) FirstComponent(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = p.Project(r, 1)[0]
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDotNormDist(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, -5, 6}
+	if got := Dot(a, b); got != 12 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := Dist2(a, b); got != 9+49+9 {
+		t.Errorf("Dist2 = %v", got)
+	}
+	if got := Dist([]float64{0, 0}, []float64{3, 4}); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAXPYScale(t *testing.T) {
+	dst := []float64{1, 2}
+	AXPY(dst, 2, []float64{10, 20})
+	if dst[0] != 21 || dst[1] != 42 {
+		t.Errorf("AXPY = %v", dst)
+	}
+	Scale(dst, 0.5)
+	if dst[0] != 10.5 || dst[1] != 21 {
+		t.Errorf("Scale = %v", dst)
+	}
+}
+
+func TestNormalizeL1(t *testing.T) {
+	v := []float64{2, 6, 2}
+	NormalizeL1(v)
+	if !approx(v[0], 0.2, 1e-12) || !approx(v[1], 0.6, 1e-12) {
+		t.Errorf("NormalizeL1 = %v", v)
+	}
+	zero := []float64{0, 0}
+	NormalizeL1(zero)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("NormalizeL1 zero vector = %v", zero)
+	}
+}
+
+func TestMean(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	mu := Mean(rows)
+	if mu[0] != 3 || mu[1] != 4 {
+		t.Errorf("Mean = %v", mu)
+	}
+	if Mean(nil) != nil {
+		t.Error("Mean(nil) != nil")
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Perfectly correlated 2D data: x, 2x.
+	rows := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	cov := Covariance(rows)
+	if !approx(cov[0][0], 1, 1e-12) {
+		t.Errorf("cov[0][0] = %v, want 1", cov[0][0])
+	}
+	if !approx(cov[0][1], 2, 1e-12) || !approx(cov[1][0], 2, 1e-12) {
+		t.Errorf("cov off-diag = %v, %v", cov[0][1], cov[1][0])
+	}
+	if !approx(cov[1][1], 4, 1e-12) {
+		t.Errorf("cov[1][1] = %v, want 4", cov[1][1])
+	}
+}
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	a := [][]float64{{3, 0}, {0, 1}}
+	vals, vecs, err := JacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(vals[0], 3, 1e-12) || !approx(vals[1], 1, 1e-12) {
+		t.Errorf("vals = %v", vals)
+	}
+	// First eigenvector should align with e0.
+	if !approx(math.Abs(vecs[0][0]), 1, 1e-9) || !approx(vecs[0][1], 0, 1e-9) {
+		t.Errorf("vecs[0] = %v", vecs[0])
+	}
+}
+
+func TestJacobiEigenSymmetric(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := [][]float64{{2, 1}, {1, 2}}
+	vals, vecs, err := JacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(vals[0], 3, 1e-9) || !approx(vals[1], 1, 1e-9) {
+		t.Errorf("vals = %v", vals)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt2 up to sign.
+	want := 1 / math.Sqrt(2)
+	if !approx(math.Abs(vecs[0][0]), want, 1e-9) || !approx(math.Abs(vecs[0][1]), want, 1e-9) {
+		t.Errorf("vecs[0] = %v", vecs[0])
+	}
+}
+
+func TestJacobiEigenReconstruction(t *testing.T) {
+	// Random symmetric matrix: A = V^T diag(vals) V must reproduce A.
+	rng := rand.New(rand.NewSource(7))
+	n := 6
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			x := rng.NormFloat64()
+			a[i][j] = x
+			a[j][i] = x
+		}
+	}
+	vals, vecs, err := JacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += vecs[k][i] * vals[k] * vecs[k][j]
+			}
+			if !approx(s, a[i][j], 1e-8) {
+				t.Fatalf("reconstruction (%d,%d) = %v, want %v", i, j, s, a[i][j])
+			}
+		}
+	}
+	// Eigenvalues descending.
+	for i := 1; i < n; i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Errorf("eigenvalues not descending: %v", vals)
+		}
+	}
+	// Eigenvectors orthonormal.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !approx(Dot(vecs[i], vecs[j]), want, 1e-9) {
+				t.Errorf("vecs not orthonormal at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestJacobiEigenNonSquare(t *testing.T) {
+	if _, _, err := JacobiEigen([][]float64{{1, 2}}); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestFitPCADirection(t *testing.T) {
+	// Points along the (1,1) diagonal with small noise: first PC must
+	// align with (1,1)/sqrt2 and capture most variance.
+	rng := rand.New(rand.NewSource(3))
+	var rows [][]float64
+	for i := 0; i < 200; i++ {
+		x := rng.NormFloat64() * 10
+		rows = append(rows, []float64{x + rng.NormFloat64()*0.1, x + rng.NormFloat64()*0.1})
+	}
+	p, err := FitPCA(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / math.Sqrt(2)
+	if !approx(math.Abs(p.Components[0][0]), want, 0.01) || !approx(math.Abs(p.Components[0][1]), want, 0.01) {
+		t.Errorf("first PC = %v", p.Components[0])
+	}
+	if p.Variances[0] < 100*p.Variances[1] {
+		t.Errorf("variance ratio too small: %v", p.Variances)
+	}
+}
+
+func TestPCAProjectAndFirstComponent(t *testing.T) {
+	rows := [][]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	p, err := FitPCA(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := p.FirstComponent(rows)
+	if len(fc) != 4 {
+		t.Fatalf("FirstComponent length %d", len(fc))
+	}
+	// Projections of collinear equally spaced points are equally
+	// spaced and centered.
+	var sum float64
+	for _, v := range fc {
+		sum += v
+	}
+	if !approx(sum, 0, 1e-9) {
+		t.Errorf("projections not centered: %v", fc)
+	}
+	d1 := fc[1] - fc[0]
+	for i := 2; i < 4; i++ {
+		if !approx(fc[i]-fc[i-1], d1, 1e-9) {
+			t.Errorf("projections not equally spaced: %v", fc)
+		}
+	}
+	// Project with k larger than dimension clamps.
+	if got := p.Project([]float64{1, 1}, 10); len(got) != 2 {
+		t.Errorf("Project clamp = %v", got)
+	}
+}
+
+func TestFitPCAEmpty(t *testing.T) {
+	if _, err := FitPCA(nil); err == nil {
+		t.Error("FitPCA(nil) succeeded")
+	}
+}
+
+// Property: Dist2 is symmetric, non-negative, and zero iff equal
+// inputs (for finite data).
+func TestDistProperties(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		av, bv := a[:], b[:]
+		d1, d2 := Dist2(av, bv), Dist2(bv, av)
+		if math.IsNaN(d1) || math.IsInf(d1, 0) {
+			return true // overflow of quick-generated extremes
+		}
+		return d1 == d2 && d1 >= 0 && Dist2(av, av) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NormalizeL1 yields an L1 norm of ~1 for non-zero input.
+func TestNormalizeL1Property(t *testing.T) {
+	f := func(raw [8]float64) bool {
+		v := make([]float64, 8)
+		nonzero := false
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			v[i] = math.Mod(x, 1000)
+			if v[i] != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			return true
+		}
+		NormalizeL1(v)
+		var sum float64
+		for _, x := range v {
+			sum += math.Abs(x)
+		}
+		return approx(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

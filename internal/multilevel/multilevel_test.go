@@ -1,0 +1,197 @@
+package multilevel
+
+import (
+	"testing"
+
+	"mlpa/internal/coasts"
+	"mlpa/internal/isa"
+	"mlpa/internal/prog"
+	"mlpa/internal/simpoint"
+)
+
+// bigPhaseProgram builds an outer loop with two alternating kernels
+// whose iterations are large (thousands of instructions), so coarse
+// points exceed small re-sampling thresholds.
+func bigPhaseProgram(t *testing.T, trips, inner int64) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("bigphase")
+	b.Li(1, trips)
+	b.Label("outer")
+	b.Andi(2, 1, 1)
+	b.Bne(2, isa.RZero, "kb")
+	b.CountedLoop("ka", 3, inner, func() {
+		b.Add(4, 4, 4)
+		b.Xor(5, 5, 4)
+		b.Addi(6, 6, 1)
+	})
+	b.Jmp("next")
+	b.Label("kb")
+	b.CountedLoop("kbl", 3, inner, func() {
+		b.Mul(7, 7, 7)
+		b.Addi(7, 7, 3)
+		b.Sub(8, 8, 7)
+	})
+	b.Label("next")
+	b.Addi(1, 1, -1)
+	b.Bne(1, isa.RZero, "outer")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestSelectResamplesBigPoints(t *testing.T) {
+	p := bigPhaseProgram(t, 10, 400) // iterations ~2000 insts
+	cfg := Config{
+		Coarse:    coasts.Config{Seed: 1},
+		Fine:      simpoint.Config{IntervalLen: 100, Kmax: 5, Seed: 1},
+		Threshold: 500,
+	}
+	plan, report, err := Select(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method != MethodName {
+		t.Errorf("Method = %q", plan.Method)
+	}
+	// Coarse points exceed the threshold, so all must be re-sampled.
+	resampled := 0
+	for _, sub := range report.Resampled {
+		if sub != nil {
+			resampled++
+		}
+	}
+	if resampled != len(report.CoarsePlan.Points) {
+		t.Errorf("resampled %d of %d coarse points", resampled, len(report.CoarsePlan.Points))
+	}
+	// All final points are level-2 with parents.
+	for _, pt := range plan.Points {
+		if pt.Level != 2 || pt.Parent < 0 {
+			t.Errorf("point = %+v, want level 2 with parent", pt)
+		}
+	}
+	// Multi-level detail must be below the coarse plan's detail.
+	if plan.DetailedInsts() >= report.CoarsePlan.DetailedInsts() {
+		t.Errorf("multilevel detail %d >= coarse detail %d", plan.DetailedInsts(), report.CoarsePlan.DetailedInsts())
+	}
+}
+
+func TestSmallPointsKeptWhole(t *testing.T) {
+	p := bigPhaseProgram(t, 10, 400)
+	cfg := Config{
+		Coarse:    coasts.Config{Seed: 2},
+		Fine:      simpoint.Config{IntervalLen: 100, Kmax: 5, Seed: 2},
+		Threshold: 1 << 40, // nothing exceeds this
+	}
+	plan, report, err := Select(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range report.Resampled {
+		if sub != nil {
+			t.Error("point re-sampled despite huge threshold")
+		}
+	}
+	if len(plan.Points) != len(report.CoarsePlan.Points) {
+		t.Errorf("points = %d, want %d (coarse kept whole)", len(plan.Points), len(report.CoarsePlan.Points))
+	}
+	for _, pt := range plan.Points {
+		if pt.Level != 1 {
+			t.Errorf("kept point has level %d", pt.Level)
+		}
+	}
+}
+
+func TestDefaultThresholdRule(t *testing.T) {
+	cfg := Config{
+		Fine: simpoint.Config{IntervalLen: 100, Kmax: 30},
+	}
+	got := cfg.withDefaults().Threshold
+	if got != 3000 {
+		t.Errorf("default threshold = %d, want IntervalLen*Kmax = 3000", got)
+	}
+}
+
+func TestWeightsComposeMultiplicatively(t *testing.T) {
+	p := bigPhaseProgram(t, 10, 400)
+	cfg := Config{
+		Coarse:    coasts.Config{Seed: 3},
+		Fine:      simpoint.Config{IntervalLen: 100, Kmax: 5, Seed: 3},
+		Threshold: 500,
+	}
+	plan, report, err := Select(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of final weights descending from one coarse point must equal
+	// that coarse point's weight (up to normalization).
+	perParent := make(map[int]float64)
+	for _, pt := range plan.Points {
+		perParent[pt.Parent] += pt.Weight
+	}
+	for _, cp := range report.CoarsePlan.Points {
+		got := perParent[cp.Interval]
+		if diff := got - cp.Weight; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("descendants of coarse interval %d weigh %v, coarse weight %v", cp.Interval, got, cp.Weight)
+		}
+	}
+}
+
+func TestMissingFineIntervalLen(t *testing.T) {
+	p := bigPhaseProgram(t, 4, 50)
+	if _, _, err := Select(p, Config{}); err == nil {
+		t.Error("missing Fine.IntervalLen accepted")
+	}
+}
+
+func TestFinePointsInsideCoarsePoints(t *testing.T) {
+	p := bigPhaseProgram(t, 10, 400)
+	cfg := Config{
+		Coarse:    coasts.Config{Seed: 4},
+		Fine:      simpoint.Config{IntervalLen: 150, Kmax: 4, Seed: 4},
+		Threshold: 500,
+	}
+	plan, report, err := Select(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarseByInterval := make(map[int][2]uint64)
+	for _, cp := range report.CoarsePlan.Points {
+		coarseByInterval[cp.Interval] = [2]uint64{cp.Start, cp.End}
+	}
+	for _, pt := range plan.Points {
+		rng, ok := coarseByInterval[pt.Parent]
+		if !ok {
+			t.Fatalf("point parent %d not a coarse interval", pt.Parent)
+		}
+		if pt.Start < rng[0] || pt.End > rng[1] {
+			t.Errorf("fine point [%d,%d) escapes coarse range [%d,%d)", pt.Start, pt.End, rng[0], rng[1])
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := bigPhaseProgram(t, 8, 300)
+	cfg := Config{
+		Coarse:    coasts.Config{Seed: 5},
+		Fine:      simpoint.Config{IntervalLen: 120, Kmax: 4, Seed: 5},
+		Threshold: 400,
+	}
+	p1, _, err := Select(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := Select(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Points) != len(p2.Points) {
+		t.Fatal("nondeterministic point count")
+	}
+	for i := range p1.Points {
+		if p1.Points[i] != p2.Points[i] {
+			t.Errorf("point %d differs", i)
+		}
+	}
+}

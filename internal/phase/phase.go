@@ -1,0 +1,289 @@
+// Package phase defines execution intervals — the unit of phase
+// analysis — and the profiling collectors that produce them: fixed
+// instruction-length intervals (SimPoint's fine-grained scheme) and
+// variable-length cyclic-structure iteration intervals (the paper's
+// coarse-grained COASTS scheme).
+package phase
+
+import (
+	"fmt"
+
+	"mlpa/internal/bbv"
+	"mlpa/internal/emu"
+	"mlpa/internal/prog"
+)
+
+// Kind distinguishes interval granularities.
+type Kind string
+
+// Interval kinds.
+const (
+	FixedLength Kind = "fixed"     // fine-grained, fixed instruction count
+	Iteration   Kind = "iteration" // coarse-grained, loop-iteration bounded
+)
+
+// Interval is one contiguous execution region with its behaviour
+// signature.
+type Interval struct {
+	Index  int
+	Start  uint64 // committed-instruction count at interval start
+	End    uint64 // exclusive
+	Vector []float64
+}
+
+// Len returns the interval length in instructions.
+func (iv Interval) Len() uint64 { return iv.End - iv.Start }
+
+// Trace is the profiling result for one program (or one execution
+// range of it): its intervals in execution order.
+type Trace struct {
+	Benchmark string
+	Kind      Kind
+	Intervals []Interval
+
+	// Origin is the absolute instruction count where the trace begins
+	// (0 for whole-program traces, the region start for range traces).
+	Origin uint64
+
+	// TotalInsts is the absolute instruction count where the trace
+	// ends (program length for whole-program traces).
+	TotalInsts uint64
+}
+
+// Vectors returns the interval signature matrix (rows in execution
+// order) for clustering.
+func (t *Trace) Vectors() [][]float64 {
+	out := make([][]float64, len(t.Intervals))
+	for i := range t.Intervals {
+		out[i] = t.Intervals[i].Vector
+	}
+	return out
+}
+
+// Validate checks trace invariants: contiguous, non-empty intervals
+// covering [Origin, TotalInsts).
+func (t *Trace) Validate() error {
+	prev := t.Origin
+	for i, iv := range t.Intervals {
+		if iv.Index != i {
+			return fmt.Errorf("phase: interval %d has index %d", i, iv.Index)
+		}
+		if iv.Start != prev {
+			return fmt.Errorf("phase: interval %d starts at %d, want %d", i, iv.Start, prev)
+		}
+		if iv.End <= iv.Start {
+			return fmt.Errorf("phase: interval %d empty [%d,%d)", i, iv.Start, iv.End)
+		}
+		prev = iv.End
+	}
+	if prev != t.TotalInsts {
+		return fmt.Errorf("phase: intervals cover %d instructions, trace has %d", prev, t.TotalInsts)
+	}
+	return nil
+}
+
+// Position returns the paper's "position" of interval i: the
+// instruction count before its last instruction divided by the total
+// instruction count.
+func (t *Trace) Position(i int) float64 {
+	if t.TotalInsts == 0 {
+		return 0
+	}
+	return float64(t.Intervals[i].End-1) / float64(t.TotalInsts)
+}
+
+// runBound is the safety bound for profiled executions.
+const runBound = 1 << 40
+
+// CollectFixed executes p from the start and produces fixed-length
+// intervals of intervalLen instructions, each carrying its projected,
+// normalized BBV signature. The final partial interval (if any) is
+// kept, as SimPoint does.
+func CollectFixed(p *prog.Program, proj *bbv.Projector, intervalLen uint64) (*Trace, error) {
+	if intervalLen == 0 {
+		return nil, fmt.Errorf("phase: intervalLen = 0")
+	}
+	m := emu.New(p, 0)
+	tr := &Trace{Benchmark: p.Name, Kind: FixedLength}
+	var start uint64
+	for !m.Halted {
+		n, err := m.Run(intervalLen)
+		if err != nil {
+			return nil, fmt.Errorf("phase: CollectFixed(%s): %w", p.Name, err)
+		}
+		if n == 0 {
+			break
+		}
+		vec, err := proj.Signature(m.BlockCounts)
+		if err != nil {
+			return nil, err
+		}
+		m.ResetBlockCounts()
+		tr.Intervals = append(tr.Intervals, Interval{
+			Index:  len(tr.Intervals),
+			Start:  start,
+			End:    m.Insts,
+			Vector: vec,
+		})
+		start = m.Insts
+		if m.Insts > runBound {
+			return nil, fmt.Errorf("phase: CollectFixed(%s): run bound exceeded", p.Name)
+		}
+	}
+	tr.TotalInsts = m.Insts
+	return tr, tr.Validate()
+}
+
+// CollectIterations executes p from the start and produces one
+// interval per iteration of the cyclic structure headed at head.
+// Instructions before the first arrival attach to the first iteration;
+// instructions after the last back-edge (including program epilogue)
+// form the final interval. subChunks > 1 splits each iteration into
+// that many equal sub-spans whose projected BBVs are concatenated into
+// the iteration signature (the paper's signature concatenation); 0 or
+// 1 yields one BBV per iteration.
+func CollectIterations(p *prog.Program, proj *bbv.Projector, head int64, subChunks int) (*Trace, error) {
+	if subChunks < 1 {
+		subChunks = 1
+	}
+	m := emu.New(p, 0)
+	tr := &Trace{Benchmark: p.Name, Kind: Iteration}
+
+	var (
+		start     uint64
+		rawBounds []uint64
+		raws      [][]uint64 // raw block counts per iteration
+	)
+	m.Branch = emu.IterationMarker(m, head, func(iter int, insts uint64) {
+		raws = append(raws, m.SnapshotBlockCounts())
+		m.ResetBlockCounts()
+		rawBounds = append(rawBounds, insts)
+	})
+	if _, err := m.RunToCompletion(runBound); err != nil {
+		return nil, fmt.Errorf("phase: CollectIterations(%s): %w", p.Name, err)
+	}
+	// Final iteration: remaining counts to program end.
+	final := m.SnapshotBlockCounts()
+	nonzero := false
+	for _, c := range final {
+		if c != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if nonzero || len(raws) == 0 {
+		raws = append(raws, final)
+		rawBounds = append(rawBounds, m.Insts)
+	} else if len(rawBounds) > 0 {
+		rawBounds[len(rawBounds)-1] = m.Insts
+	}
+
+	for i, counts := range raws {
+		var vec []float64
+		var err error
+		if subChunks == 1 {
+			vec, err = proj.Signature(counts)
+		} else {
+			vec, err = chunkedSignature(counts, proj, subChunks)
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Intervals = append(tr.Intervals, Interval{
+			Index:  i,
+			Start:  start,
+			End:    rawBounds[i],
+			Vector: vec,
+		})
+		start = rawBounds[i]
+	}
+	tr.TotalInsts = m.Insts
+	return tr, tr.Validate()
+}
+
+// chunkedSignature approximates the concatenated sub-chunk signature
+// from a single aggregate count vector by replicating the aggregate
+// distribution across chunks. Collecting true temporal sub-chunks
+// would require a second pass per iteration; the aggregate form
+// preserves the clustering metric (see DESIGN.md) while the extension
+// exists mainly to keep signature dimensionality compatible with
+// multi-chunk configurations.
+func chunkedSignature(counts []uint64, proj *bbv.Projector, chunks int) ([]float64, error) {
+	base, err := proj.Project(counts)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]float64, chunks)
+	for i := range parts {
+		parts[i] = base
+	}
+	return bbv.Concat(parts), nil
+}
+
+// CollectFixedRange profiles fixed-length intervals within the
+// absolute instruction range [start, end): the program is functionally
+// fast-forwarded to start, then chunked like CollectFixed. Interval
+// Start/End values are absolute; the final interval is truncated at
+// end. This is the second-level profiling pass of the multi-level
+// framework, applied inside a selected coarse-grained simulation
+// point.
+func CollectFixedRange(p *prog.Program, proj *bbv.Projector, intervalLen, start, end uint64) (*Trace, error) {
+	if intervalLen == 0 {
+		return nil, fmt.Errorf("phase: intervalLen = 0")
+	}
+	if end <= start {
+		return nil, fmt.Errorf("phase: empty range [%d,%d)", start, end)
+	}
+	m := emu.New(p, 0)
+	if start > 0 {
+		n, err := m.Run(start)
+		if err != nil {
+			return nil, fmt.Errorf("phase: CollectFixedRange(%s) fast-forward: %w", p.Name, err)
+		}
+		if n < start {
+			return nil, fmt.Errorf("phase: CollectFixedRange(%s): program ended at %d before range start %d", p.Name, n, start)
+		}
+	}
+	m.ResetBlockCounts()
+	tr := &Trace{Benchmark: p.Name, Kind: FixedLength, Origin: start}
+	cur := start
+	for !m.Halted && cur < end {
+		step := intervalLen
+		if cur+step > end {
+			step = end - cur
+		}
+		n, err := m.Run(step)
+		if err != nil {
+			return nil, fmt.Errorf("phase: CollectFixedRange(%s): %w", p.Name, err)
+		}
+		if n == 0 {
+			break
+		}
+		vec, err := proj.Signature(m.BlockCounts)
+		if err != nil {
+			return nil, err
+		}
+		m.ResetBlockCounts()
+		tr.Intervals = append(tr.Intervals, Interval{
+			Index:  len(tr.Intervals),
+			Start:  cur,
+			End:    m.Insts,
+			Vector: vec,
+		})
+		cur = m.Insts
+	}
+	tr.TotalInsts = cur
+	return tr, tr.Validate()
+}
+
+// SliceByInstructions returns the sub-range of trace intervals fully
+// contained in the instruction range [start, end).
+func (t *Trace) SliceByInstructions(start, end uint64) []Interval {
+	var out []Interval
+	for _, iv := range t.Intervals {
+		if iv.Start >= start && iv.End <= end {
+			out = append(out, iv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+// Package phasepred implements runtime phase prediction over coarse
+// phase sequences — the dynamic-optimization use of phase analysis the
+// paper's related work points at (Sherwood et al.'s phase tracking and
+// prediction): given the phase IDs of past intervals, predict the next
+// interval's phase. Three predictors are provided: last-phase, a
+// fixed-order Markov predictor, and the run-length-encoded Markov
+// predictor that exploits the long runs typical of coarse phases.
+package phasepred
+
+import (
+	"fmt"
+
+	"mlpa/internal/kmeans"
+	"mlpa/internal/phase"
+)
+
+// Predictor consumes an observed phase sequence and predicts the next
+// phase before each observation.
+type Predictor interface {
+	// Predict returns the predicted next phase ID (-1 when the
+	// predictor has no basis yet).
+	Predict() int
+	// Observe reveals the actual phase of the interval just executed.
+	Observe(phaseID int)
+	// Name identifies the predictor.
+	Name() string
+}
+
+// Last predicts that the next interval continues the current phase —
+// the baseline that long phase runs make strong.
+type Last struct {
+	last int
+	seen bool
+}
+
+// NewLast returns a last-phase predictor.
+func NewLast() *Last { return &Last{} }
+
+// Name implements Predictor.
+func (l *Last) Name() string { return "last-phase" }
+
+// Predict implements Predictor.
+func (l *Last) Predict() int {
+	if !l.seen {
+		return -1
+	}
+	return l.last
+}
+
+// Observe implements Predictor.
+func (l *Last) Observe(p int) {
+	l.last = p
+	l.seen = true
+}
+
+// Markov predicts from the most frequent successor of the recent
+// phase history of fixed order.
+type Markov struct {
+	order   int
+	history []int
+	table   map[string]map[int]int
+}
+
+// NewMarkov returns an order-k Markov predictor.
+func NewMarkov(order int) *Markov {
+	if order < 1 {
+		order = 1
+	}
+	return &Markov{order: order, table: make(map[string]map[int]int)}
+}
+
+// Name implements Predictor.
+func (m *Markov) Name() string { return fmt.Sprintf("markov-%d", m.order) }
+
+func (m *Markov) key() string {
+	if len(m.history) < m.order {
+		return ""
+	}
+	k := ""
+	for _, p := range m.history[len(m.history)-m.order:] {
+		k += fmt.Sprintf("%d,", p)
+	}
+	return k
+}
+
+// Predict implements Predictor.
+func (m *Markov) Predict() int {
+	k := m.key()
+	if k == "" {
+		if len(m.history) > 0 {
+			return m.history[len(m.history)-1]
+		}
+		return -1
+	}
+	succ, ok := m.table[k]
+	if !ok || len(succ) == 0 {
+		return m.history[len(m.history)-1]
+	}
+	best, bestN := -1, -1
+	for p, n := range succ {
+		if n > bestN || (n == bestN && p < best) {
+			best, bestN = p, n
+		}
+	}
+	return best
+}
+
+// Observe implements Predictor.
+func (m *Markov) Observe(p int) {
+	if k := m.key(); k != "" {
+		succ := m.table[k]
+		if succ == nil {
+			succ = make(map[int]int)
+			m.table[k] = succ
+		}
+		succ[p]++
+	}
+	m.history = append(m.history, p)
+	if len(m.history) > m.order*4 {
+		m.history = m.history[len(m.history)-m.order:]
+	}
+}
+
+// RLEMarkov is the run-length-encoded Markov predictor: state is the
+// (phase, observed run length) pair, which captures "phase A runs for
+// ~N intervals, then B follows" — the structure coarse phases exhibit.
+type RLEMarkov struct {
+	cur    int
+	runLen int
+	seen   bool
+	table  map[[2]int]map[int]int
+}
+
+// NewRLEMarkov returns a run-length-encoded Markov predictor.
+func NewRLEMarkov() *RLEMarkov {
+	return &RLEMarkov{table: make(map[[2]int]map[int]int)}
+}
+
+// Name implements Predictor.
+func (r *RLEMarkov) Name() string { return "rle-markov" }
+
+// Predict implements Predictor.
+func (r *RLEMarkov) Predict() int {
+	if !r.seen {
+		return -1
+	}
+	if succ, ok := r.table[[2]int{r.cur, r.runLen}]; ok && len(succ) > 0 {
+		best, bestN := -1, -1
+		for p, n := range succ {
+			if n > bestN || (n == bestN && p < best) {
+				best, bestN = p, n
+			}
+		}
+		return best
+	}
+	return r.cur // default: run continues
+}
+
+// Observe implements Predictor.
+func (r *RLEMarkov) Observe(p int) {
+	if r.seen {
+		key := [2]int{r.cur, r.runLen}
+		succ := r.table[key]
+		if succ == nil {
+			succ = make(map[int]int)
+			r.table[key] = succ
+		}
+		succ[p]++
+	}
+	if r.seen && p == r.cur {
+		r.runLen++
+	} else {
+		r.cur = p
+		r.runLen = 1
+	}
+	r.seen = true
+}
+
+// Evaluate feeds seq through p and returns the fraction of correct
+// predictions (warm predictions only: steps where Predict returned a
+// phase are scored).
+func Evaluate(seq []int, p Predictor) float64 {
+	correct, scored := 0, 0
+	for _, actual := range seq {
+		pred := p.Predict()
+		if pred >= 0 {
+			scored++
+			if pred == actual {
+				correct++
+			}
+		}
+		p.Observe(actual)
+	}
+	if scored == 0 {
+		return 0
+	}
+	return float64(correct) / float64(scored)
+}
+
+// PhaseSequence maps a trace's intervals to their cluster IDs in
+// execution order — the sequence a runtime phase tracker would see.
+func PhaseSequence(tr *phase.Trace, km *kmeans.Result) ([]int, error) {
+	if len(km.Assign) != len(tr.Intervals) {
+		return nil, fmt.Errorf("phasepred: %d assignments for %d intervals", len(km.Assign), len(tr.Intervals))
+	}
+	return append([]int(nil), km.Assign...), nil
+}
+
+// Transitions counts phase changes in a sequence.
+func Transitions(seq []int) int {
+	n := 0
+	for i := 1; i < len(seq); i++ {
+		if seq[i] != seq[i-1] {
+			n++
+		}
+	}
+	return n
+}

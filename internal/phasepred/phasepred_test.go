@@ -1,0 +1,128 @@
+package phasepred
+
+import (
+	"testing"
+
+	"mlpa/internal/bench"
+	"mlpa/internal/coasts"
+)
+
+func repeat(pattern []int, times int) []int {
+	var out []int
+	for i := 0; i < times; i++ {
+		out = append(out, pattern...)
+	}
+	return out
+}
+
+func TestLastPredictor(t *testing.T) {
+	l := NewLast()
+	if l.Predict() != -1 {
+		t.Error("cold Last predicted")
+	}
+	// Long runs: last-phase is nearly perfect.
+	seq := repeat([]int{0, 0, 0, 0, 0, 0, 0, 0, 0, 1}, 10)
+	acc := Evaluate(seq, NewLast())
+	if acc < 0.75 || acc > 0.95 {
+		t.Errorf("last-phase accuracy on 90%% runs = %v", acc)
+	}
+	// Alternation: last-phase is always wrong.
+	if acc := Evaluate(repeat([]int{0, 1}, 50), NewLast()); acc > 0.05 {
+		t.Errorf("last-phase accuracy on alternation = %v", acc)
+	}
+}
+
+func TestMarkovLearnsAlternation(t *testing.T) {
+	seq := repeat([]int{0, 1}, 100)
+	acc := Evaluate(seq, NewMarkov(1))
+	if acc < 0.9 {
+		t.Errorf("markov-1 accuracy on alternation = %v", acc)
+	}
+	// Order-2 pattern 0,0,1: markov-1 cannot disambiguate after a 0,
+	// markov-2 can.
+	seq = repeat([]int{0, 0, 1}, 120)
+	acc1 := Evaluate(seq, NewMarkov(1))
+	acc2 := Evaluate(seq, NewMarkov(2))
+	if acc2 <= acc1 {
+		t.Errorf("markov-2 (%v) not above markov-1 (%v) on order-2 pattern", acc2, acc1)
+	}
+	if acc2 < 0.9 {
+		t.Errorf("markov-2 accuracy = %v", acc2)
+	}
+}
+
+func TestRLEMarkovLearnsRunStructure(t *testing.T) {
+	// Phase 0 runs for 7, then 1 runs for 3, repeating: last-phase
+	// misses every transition; RLE-Markov learns the run lengths.
+	pattern := append(repeat([]int{0}, 7), repeat([]int{1}, 3)...)
+	seq := repeat(pattern, 40)
+	last := Evaluate(seq, NewLast())
+	rle := Evaluate(seq, NewRLEMarkov())
+	if rle <= last {
+		t.Errorf("rle-markov (%v) not above last-phase (%v)", rle, last)
+	}
+	if rle < 0.95 {
+		t.Errorf("rle-markov accuracy = %v", rle)
+	}
+}
+
+func TestEvaluateEmptyAndCold(t *testing.T) {
+	if got := Evaluate(nil, NewLast()); got != 0 {
+		t.Errorf("empty Evaluate = %v", got)
+	}
+	if got := Evaluate([]int{5}, NewLast()); got != 0 {
+		t.Errorf("single-element Evaluate = %v (nothing scoreable)", got)
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	if got := Transitions([]int{1, 1, 2, 2, 1}); got != 2 {
+		t.Errorf("Transitions = %d", got)
+	}
+	if got := Transitions(nil); got != 0 {
+		t.Errorf("Transitions(nil) = %d", got)
+	}
+}
+
+// The suite's coarse phase sequences are highly predictable — the
+// property that makes phase-guided dynamic optimization viable, and
+// the same regularity COASTS exploits statically.
+func TestSuiteCoarseSequencesArePredictable(t *testing.T) {
+	for _, name := range []string{"gzip", "equake", "lucas"} {
+		spec, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := spec.MustProgram(bench.SizeTiny)
+		_, tr, km, err := coasts.Select(p, coasts.Config{Seed: 1, Kmax: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := PhaseSequence(tr, km)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rle := Evaluate(seq, NewRLEMarkov())
+		mk := Evaluate(seq, NewMarkov(2))
+		best := rle
+		if mk > best {
+			best = mk
+		}
+		if best < 0.7 {
+			t.Errorf("%s: best phase-prediction accuracy %v (rle %v, markov %v)", name, best, rle, mk)
+		}
+	}
+}
+
+func TestPhaseSequenceMismatch(t *testing.T) {
+	spec, _ := bench.ByName("gzip")
+	p := spec.MustProgram(bench.SizeTiny)
+	_, tr, km, err := coasts.Select(p, coasts.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	km.Assign = km.Assign[:len(km.Assign)-1]
+	if _, err := PhaseSequence(tr, km); err == nil {
+		t.Error("mismatched assignment length accepted")
+	}
+}

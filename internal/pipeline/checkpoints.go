@@ -1,0 +1,122 @@
+package pipeline
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"mlpa/internal/cpu"
+	"mlpa/internal/emu"
+	"mlpa/internal/prog"
+	"mlpa/internal/sampling"
+)
+
+// Checkpoints holds per-point architectural snapshots for a plan, so
+// the points can be simulated without re-executing the fast-forward
+// prefix — production SimPoint flows store exactly such checkpoints.
+// One functional pass creates them; they can then be replayed under
+// any number of machine configurations.
+type Checkpoints struct {
+	Plan   *sampling.Plan
+	States [][]byte // serialized machine state per point
+	// Leads[i] is how many instructions before point i its checkpoint
+	// was taken; the replay uses them as detailed lead-in so the
+	// measured region starts with a filled pipeline.
+	Leads []uint64
+}
+
+// ckptLeadIn is the detailed lead-in budget each checkpoint carries.
+const ckptLeadIn = 512
+
+// MakeCheckpoints runs one functional pass over the program, saving
+// the architectural state shortly before the start of every simulation
+// point (the slack becomes detailed lead-in at replay).
+func MakeCheckpoints(p *prog.Program, plan *sampling.Plan) (*Checkpoints, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	m := emu.New(p, 0)
+	ck := &Checkpoints{Plan: plan}
+	for _, pt := range plan.Points {
+		if pt.Start < m.Insts {
+			return nil, fmt.Errorf("pipeline: checkpoint plan not sorted")
+		}
+		lead := uint64(ckptLeadIn)
+		if avail := pt.Start - m.Insts; lead > avail {
+			lead = avail
+		}
+		if skip := pt.Start - lead - m.Insts; skip > 0 {
+			if _, err := m.Run(skip); err != nil {
+				return nil, fmt.Errorf("pipeline: checkpoint fast-forward: %w", err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := m.SaveCheckpoint(&buf); err != nil {
+			return nil, err
+		}
+		ck.States = append(ck.States, buf.Bytes())
+		ck.Leads = append(ck.Leads, lead)
+		// Execute through the point so the next checkpoint's prefix
+		// continues from here.
+		if _, err := m.Run(lead + pt.Len()); err != nil {
+			return nil, fmt.Errorf("pipeline: checkpoint advance: %w", err)
+		}
+	}
+	return ck, nil
+}
+
+// ExecuteFromCheckpoints performs the sampled simulation from stored
+// checkpoints: every point starts from its snapshot on a fresh
+// detailed context, with instruction-side self-warming (checkpoints
+// restore architectural state only, so the I-cache and predictor are
+// warmed by replaying the region on a clone; data state relies on the
+// warm-invariance the suite kernels guarantee — see DESIGN.md).
+func ExecuteFromCheckpoints(p *prog.Program, ck *Checkpoints, cfg cpu.Config) (*Estimate, error) {
+	plan := ck.Plan
+	if len(ck.States) != len(plan.Points) {
+		return nil, fmt.Errorf("pipeline: %d checkpoints for %d points", len(ck.States), len(plan.Points))
+	}
+	est := &Estimate{
+		Benchmark:       plan.Benchmark,
+		Method:          plan.Method + "+ckpt",
+		TotalInsts:      plan.TotalInsts,
+		DetailedInsts:   plan.DetailedInsts(),
+		FunctionalInsts: plan.FunctionalInsts(),
+		Points:          len(plan.Points),
+	}
+	var l1Num, l1Den, l2Num, l2Den float64
+	for i, pt := range plan.Points {
+		m := emu.New(p, 0)
+		t0 := time.Now()
+		if err := m.LoadCheckpoint(bytes.NewReader(ck.States[i])); err != nil {
+			return nil, fmt.Errorf("pipeline: checkpoint %d: %w", i, err)
+		}
+		if m.Insts+ck.Leads[i] != pt.Start {
+			return nil, fmt.Errorf("pipeline: checkpoint %d at instruction %d, point starts at %d (lead %d)", i, m.Insts, pt.Start, ck.Leads[i])
+		}
+		sim, err := cpu.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.WarmCode(m.Clone(), ck.Leads[i]+pt.Len()); err != nil {
+			return nil, err
+		}
+		est.WallFunctional += time.Since(t0)
+
+		t0 = time.Now()
+		res, err := sim.RunWithLeadIn(m, ck.Leads[i], pt.Len())
+		est.WallDetailed += time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: checkpointed point %d: %w", i, err)
+		}
+		est.CPI += pt.Weight * res.CPI()
+		perInst := 1 / float64(res.Insts)
+		l1Den += pt.Weight * float64(res.L1.Accesses) * perInst
+		l1Num += pt.Weight * float64(res.L1.Hits()) * perInst
+		l2Den += pt.Weight * float64(res.L2.Accesses) * perInst
+		l2Num += pt.Weight * float64(res.L2.Hits()) * perInst
+	}
+	est.L1Hit = ratioOr1(l1Num, l1Den)
+	est.L2Hit = ratioOr1(l2Num, l2Den)
+	return est, nil
+}

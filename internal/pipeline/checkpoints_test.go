@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"mlpa/internal/bench"
+	"mlpa/internal/config"
+	"mlpa/internal/simpoint"
+)
+
+func TestCheckpointedExecutionMatchesDirect(t *testing.T) {
+	// Checkpoints restore architectural state only, so the comparison
+	// needs a workload whose data-side timing is warm-state-invariant
+	// — the property the suite kernels guarantee (see DESIGN.md).
+	spec, err := bench.ByName("crafty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.MustProgram(bench.SizeTiny)
+	plan, _, _, err := simpoint.Select(p, simpoint.Config{
+		IntervalLen: bench.FineInterval(bench.SizeTiny), Kmax: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := MakeCheckpoints(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.States) != len(plan.Points) {
+		t.Fatalf("checkpoints = %d, points = %d", len(ck.States), len(plan.Points))
+	}
+
+	direct, err := ExecutePlan(p, plan, config.BaseA(), ExecOptions{Warmup: math.MaxUint32, DetailLeadIn: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCk, err := ExecuteFromCheckpoints(p, ck, config.BaseA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpointed execution trades warming for restore; estimates
+	// must stay close.
+	if rel := (fromCk.CPI - direct.CPI) / direct.CPI; rel > 0.25 || rel < -0.25 {
+		t.Errorf("checkpointed CPI %v vs direct %v", fromCk.CPI, direct.CPI)
+	}
+	if fromCk.Method != plan.Method+"+ckpt" {
+		t.Errorf("method = %q", fromCk.Method)
+	}
+	// The same checkpoints replay under configuration B.
+	if _, err := ExecuteFromCheckpoints(p, ck, config.SensitivityB()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteFromCheckpointsMismatch(t *testing.T) {
+	p := phasedProgram(t, 10)
+	plan, _, _, err := simpoint.Select(p, simpoint.Config{IntervalLen: 2000, Kmax: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := MakeCheckpoints(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.States = ck.States[:len(ck.States)-1]
+	if _, err := ExecuteFromCheckpoints(p, ck, config.BaseA()); err == nil {
+		t.Error("mismatched checkpoint count accepted")
+	}
+}

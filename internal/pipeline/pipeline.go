@@ -1,0 +1,281 @@
+// Package pipeline orchestrates end-to-end sampled simulation: it
+// executes a sampling plan (functional fast-forward between points,
+// cold detailed simulation of each point), combines point metrics by
+// weight into whole-program estimates, obtains ground truth from a
+// full detailed run, and evaluates both the paper's modeled speedups
+// and measured wall-clock splits.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"mlpa/internal/cpu"
+	"mlpa/internal/emu"
+	"mlpa/internal/prog"
+	"mlpa/internal/sampling"
+	"mlpa/internal/stats"
+)
+
+// ExecOptions controls plan execution.
+type ExecOptions struct {
+	// Warmup, when non-zero, functionally warms caches and predictor
+	// over up to this many trailing instructions of each fast-forward
+	// gap, and carries microarchitectural state across points
+	// (SMARTS-style warmth carryover). When zero, every point runs on
+	// a cold context, which is what plain fast-forwarding implies.
+	//
+	// At this reproduction's nominal-to-emulated scale, interval
+	// lengths shrink by the scale factor while cache capacities and
+	// miss latencies do not, so cold-start transients that cost a few
+	// percent at the paper's 10M-instruction intervals would dominate
+	// scaled points entirely. The experiment harness therefore applies
+	// the same warmup policy to every method; the cold variant remains
+	// available for the cold-start ablation.
+	Warmup uint64
+
+	// DetailLeadIn, when non-zero, additionally simulates up to this
+	// many instructions in detail immediately before each point with
+	// the statistics discarded, so the measured region starts with a
+	// filled out-of-order window instead of an empty pipeline
+	// (detailed warmup). Scaled-down points are short enough that the
+	// pipeline ramp would otherwise bias every point's CPI upward.
+	DetailLeadIn uint64
+
+	// RunAhead, when non-zero, continues detailed execution up to this
+	// many instructions past each point with the statistics discarded,
+	// so the point's trailing memory latencies overlap successor work
+	// as they would in continuous simulation instead of draining into
+	// the point's own cycle count. Without it, short scaled points
+	// containing miss bursts absorb a full drain latency apiece.
+	RunAhead uint64
+}
+
+// Estimate is the outcome of executing one sampling plan.
+type Estimate struct {
+	Benchmark string
+	Method    string
+
+	// Weighted whole-program metric estimates (Table II metrics).
+	CPI   float64
+	L1Hit float64
+	L2Hit float64
+
+	// Instruction split (Table III metrics).
+	DetailedInsts   uint64
+	FunctionalInsts uint64
+	TotalInsts      uint64
+	Points          int
+
+	// Measured wall-clock split of this reproduction's own simulators.
+	WallDetailed   time.Duration
+	WallFunctional time.Duration
+}
+
+// DetailedFraction returns DetailedInsts / TotalInsts.
+func (e *Estimate) DetailedFraction() float64 {
+	if e.TotalInsts == 0 {
+		return 0
+	}
+	return float64(e.DetailedInsts) / float64(e.TotalInsts)
+}
+
+// FunctionalFraction returns FunctionalInsts / TotalInsts.
+func (e *Estimate) FunctionalFraction() float64 {
+	if e.TotalInsts == 0 {
+		return 0
+	}
+	return float64(e.FunctionalInsts) / float64(e.TotalInsts)
+}
+
+// Wall returns the total measured wall time.
+func (e *Estimate) Wall() time.Duration { return e.WallDetailed + e.WallFunctional }
+
+// FullDetailed runs the whole program through the detailed simulator
+// (the sim-outorder baseline that defines ground truth).
+func FullDetailed(p *prog.Program, cfg cpu.Config) (cpu.Result, time.Duration, error) {
+	m := emu.New(p, 0)
+	s, err := cpu.New(cfg)
+	if err != nil {
+		return cpu.Result{}, 0, err
+	}
+	t0 := time.Now()
+	res, err := s.Run(m, 0)
+	if err != nil {
+		return cpu.Result{}, 0, fmt.Errorf("pipeline: full detailed run of %s: %w", p.Name, err)
+	}
+	return res, time.Since(t0), nil
+}
+
+// ExecutePlan performs the sampled simulation a plan describes and
+// returns the weighted estimates. Each point runs on a cold detailed
+// context, as the paper's fast-forward methodology implies; pass
+// ExecOptions.Warmup to warm structures functionally instead.
+func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts ExecOptions) (*Estimate, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	m := emu.New(p, 0)
+	est := &Estimate{
+		Benchmark:       plan.Benchmark,
+		Method:          plan.Method,
+		TotalInsts:      plan.TotalInsts,
+		DetailedInsts:   plan.DetailedInsts(),
+		FunctionalInsts: plan.FunctionalInsts(),
+		Points:          len(plan.Points),
+	}
+	var l1Num, l1Den, l2Num, l2Den float64
+	// With warmup, one detailed context carries cache and predictor
+	// state across all points; without, every point starts cold on a
+	// fresh context.
+	var carried *cpu.Sim
+	if opts.Warmup > 0 {
+		var err error
+		carried, err = cpu.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// seen counts the instructions the (carried) detailed context has
+	// observed, via warming or detailed execution.
+	var seen uint64
+	for pi, pt := range plan.Points {
+		if pt.Start < m.Insts {
+			return nil, fmt.Errorf("pipeline: plan %s/%s points overlap or are unsorted", plan.Benchmark, plan.Method)
+		}
+		sim := carried
+		if sim == nil {
+			var err error
+			sim, err = cpu.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// The gap before the point splits into plain fast-forward,
+		// functional warming, and a detailed lead-in region whose
+		// statistics are discarded.
+		ff := pt.Start - m.Insts
+		lead := opts.DetailLeadIn
+		if lead > ff {
+			lead = ff
+		}
+		warm := opts.Warmup
+		if warm > ff-lead {
+			warm = ff - lead
+		}
+		t0 := time.Now()
+		if skip := ff - warm - lead; skip > 0 {
+			if _, err := m.Run(skip); err != nil {
+				return nil, fmt.Errorf("pipeline: fast-forward in %s: %w", plan.Benchmark, err)
+			}
+		}
+		if warm > 0 {
+			if err := sim.Warm(m, warm); err != nil {
+				return nil, err
+			}
+		}
+		seen += warm
+		if opts.Warmup > 0 && seen < pt.Len() {
+			// The context has observed less history than the point is
+			// long — typically the first points of a plan, which
+			// COASTS places at the very start of the program. Dry-run
+			// the point region on a cloned machine to warm the
+			// instruction cache and branch predictor (data state is
+			// left untouched; see cpu.WarmCode), so the point measures
+			// the steady-state behaviour of the phase it represents
+			// rather than one-time code-fill transients.
+			if err := sim.WarmCode(m.Clone(), pt.Len()); err != nil {
+				return nil, err
+			}
+		}
+		est.WallFunctional += time.Since(t0)
+
+		// Run-ahead is bounded by the distance to the next point (or
+		// program end), so the machine never advances into a region
+		// another point will measure.
+		tail := opts.RunAhead
+		limit := plan.TotalInsts
+		if pi+1 < len(plan.Points) {
+			limit = plan.Points[pi+1].Start
+		}
+		if avail := limit - pt.End; tail > avail {
+			tail = avail
+		}
+
+		t0 = time.Now()
+		res, err := sim.RunWindow(m, lead, pt.Len(), tail)
+		est.WallDetailed += time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: detailed point at %d in %s: %w", pt.Start, plan.Benchmark, err)
+		}
+		if res.Insts != pt.Len() {
+			return nil, fmt.Errorf("pipeline: point at %d simulated %d instructions, want %d", pt.Start, res.Insts, pt.Len())
+		}
+		seen += lead + pt.Len() + tail
+		est.CPI += pt.Weight * res.CPI()
+		// Hit rates are access-weighted: each point contributes its
+		// access *density* scaled by its representativeness weight, so
+		// phases that barely touch a cache level cannot dominate its
+		// estimated hit rate.
+		perInst := 1 / float64(res.Insts)
+		l1Den += pt.Weight * float64(res.L1.Accesses) * perInst
+		l1Num += pt.Weight * float64(res.L1.Hits()) * perInst
+		l2Den += pt.Weight * float64(res.L2.Accesses) * perInst
+		l2Num += pt.Weight * float64(res.L2.Hits()) * perInst
+	}
+	est.L1Hit = ratioOr1(l1Num, l1Den)
+	est.L2Hit = ratioOr1(l2Num, l2Den)
+	return est, nil
+}
+
+func ratioOr1(num, den float64) float64 {
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// Deviations compares an estimate against ground truth and returns the
+// relative errors of the three Table II metrics.
+func Deviations(est *Estimate, truth cpu.Result) (cpiDev, l1Dev, l2Dev float64) {
+	return stats.Deviation(est.CPI, truth.CPI()),
+		stats.Deviation(est.L1Hit, truth.L1HitRate()),
+		stats.Deviation(est.L2Hit, truth.L2HitRate())
+}
+
+// MeasuredRates derives a sampling.TimeModel from this machine's own
+// measured simulator rates: it times a short functional run and a
+// short detailed run of the given program. Used for the
+// measured-rates variant of the speedup tables.
+func MeasuredRates(p *prog.Program, cfg cpu.Config, probeInsts uint64) (sampling.TimeModel, error) {
+	if probeInsts == 0 {
+		probeInsts = 200_000
+	}
+	m := emu.New(p, 0)
+	t0 := time.Now()
+	nf, err := m.Run(probeInsts)
+	if err != nil {
+		return sampling.TimeModel{}, err
+	}
+	fdur := time.Since(t0)
+
+	m2 := emu.New(p, 0)
+	sim, err := cpu.New(cfg)
+	if err != nil {
+		return sampling.TimeModel{}, err
+	}
+	t0 = time.Now()
+	res, err := sim.Run(m2, probeInsts)
+	if err != nil {
+		return sampling.TimeModel{}, err
+	}
+	ddur := time.Since(t0)
+	if fdur <= 0 || ddur <= 0 || nf == 0 || res.Insts == 0 {
+		return sampling.TimeModel{}, fmt.Errorf("pipeline: degenerate rate probe")
+	}
+	return sampling.TimeModel{
+		Name:           "measured",
+		DetailedRate:   float64(res.Insts) / ddur.Seconds(),
+		FunctionalRate: float64(nf) / fdur.Seconds(),
+	}, nil
+}

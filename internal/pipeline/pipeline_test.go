@@ -1,0 +1,225 @@
+package pipeline
+
+import (
+	"testing"
+
+	"mlpa/internal/coasts"
+	"mlpa/internal/config"
+	"mlpa/internal/isa"
+	"mlpa/internal/prog"
+	"mlpa/internal/sampling"
+	"mlpa/internal/simpoint"
+)
+
+// phasedProgram: outer loop alternating a memory-bound kernel and an
+// ALU kernel, so sampling accuracy is actually at stake. Each phase
+// sweeps its working set repeatedly, so any interval of a few hundred
+// instructions observes steady-state behaviour rather than pure
+// cold-start transients (mirroring how the paper's 10M-instruction
+// intervals relate to SPEC working sets).
+func phasedProgram(t *testing.T, trips int64) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("pipephase")
+	b.ReserveData(1 << 18)
+	b.Li(1, trips)
+	b.Label("outer")
+	b.Andi(2, 1, 1)
+	b.Bne(2, isa.RZero, "alu")
+	// 20 sweeps of 64 strided loads over 128 KiB: misses L1, hits L2
+	// once warm; steady state is reached early in each phase instance.
+	b.CountedLoop("sweep", 7, 20, func() {
+		b.Li(3, 0)
+		b.CountedLoop("mem", 4, 64, func() {
+			b.Ld(5, 3, 0)
+			b.Addi(3, 3, 2048)
+		})
+	})
+	b.Jmp("next")
+	b.Label("alu")
+	b.CountedLoop("alul", 4, 1300, func() {
+		b.Mul(6, 6, 6)
+		b.Addi(6, 6, 1)
+	})
+	b.Label("next")
+	b.Addi(1, 1, -1)
+	b.Bne(1, isa.RZero, "outer")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestFullDetailed(t *testing.T) {
+	p := phasedProgram(t, 10)
+	res, wall, err := FullDetailed(p, config.BaseA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts == 0 || res.Cycles == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if wall <= 0 {
+		t.Error("wall time not measured")
+	}
+}
+
+func TestExecutePlanSimPoint(t *testing.T) {
+	p := phasedProgram(t, 30)
+	plan, _, _, err := simpoint.Select(p, simpoint.Config{IntervalLen: 2000, Kmax: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _, err := FullDetailed(p, config.BaseA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At this test's tiny interval scale, cold
+	// structures dominate a point's cycles, so points are functionally
+	// warmed — the policy the top-level harness applies uniformly to
+	// every method (see DESIGN.md on scale substitution).
+	est, err := ExecutePlan(p, plan, config.BaseA(), ExecOptions{Warmup: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Points != len(plan.Points) || est.TotalInsts != plan.TotalInsts {
+		t.Errorf("estimate bookkeeping: %+v", est)
+	}
+	cpiDev, l1Dev, l2Dev := Deviations(est, truth)
+	// The sampled estimate should be in the right ballpark: the two
+	// kernels differ by >5x in CPI, so a broken estimator would show
+	// enormous deviation.
+	if cpiDev > 0.5 {
+		t.Errorf("CPI deviation = %v (est %v, truth %v)", cpiDev, est.CPI, truth.CPI())
+	}
+	if l1Dev > 0.5 || l2Dev > 0.9 {
+		t.Errorf("hit-rate deviations = %v, %v", l1Dev, l2Dev)
+	}
+}
+
+func TestColdStartBiasExistsAndWarmupRemovesIt(t *testing.T) {
+	p := phasedProgram(t, 20)
+	plan, _, _, err := simpoint.Select(p, simpoint.Config{IntervalLen: 120, Kmax: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _, err := FullDetailed(p, config.BaseA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ExecutePlan(p, plan, config.BaseA(), ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ExecutePlan(p, plan, config.BaseA(), ExecOptions{Warmup: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CPI <= warm.CPI {
+		t.Errorf("cold CPI %v <= warm CPI %v; cold-start bias should inflate CPI", cold.CPI, warm.CPI)
+	}
+	coldDev, _, _ := Deviations(cold, truth)
+	warmDev, _, _ := Deviations(warm, truth)
+	if warmDev >= coldDev {
+		t.Errorf("warmup did not improve deviation: warm %v, cold %v", warmDev, coldDev)
+	}
+}
+
+func TestExecutePlanCoasts(t *testing.T) {
+	p := phasedProgram(t, 20)
+	plan, _, _, err := coasts.Select(p, coasts.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _, err := FullDetailed(p, config.BaseA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := ExecutePlan(p, plan, config.BaseA(), ExecOptions{Warmup: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpiDev, _, _ := Deviations(est, truth)
+	if cpiDev > 0.5 {
+		t.Errorf("COASTS CPI deviation = %v (est %v, truth %v)", cpiDev, est.CPI, truth.CPI())
+	}
+	// Coarse early points: functional fraction must be far below the
+	// ~1.0 a late fine plan would need.
+	if f := est.FunctionalFraction(); f > 0.6 {
+		t.Errorf("COASTS functional fraction = %v", f)
+	}
+}
+
+func TestExecutePlanWithWarmup(t *testing.T) {
+	p := phasedProgram(t, 20)
+	plan, _, _, err := simpoint.Select(p, simpoint.Config{IntervalLen: 120, Kmax: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecutePlan(p, plan, config.BaseA(), ExecOptions{Warmup: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecutePlanRejectsInvalid(t *testing.T) {
+	p := phasedProgram(t, 5)
+	bad := &sampling.Plan{Benchmark: "x", Method: "m", TotalInsts: 100}
+	if _, err := ExecutePlan(p, bad, config.BaseA(), ExecOptions{}); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+func TestEstimateFractions(t *testing.T) {
+	e := &Estimate{DetailedInsts: 10, FunctionalInsts: 40, TotalInsts: 100}
+	if e.DetailedFraction() != 0.1 || e.FunctionalFraction() != 0.4 {
+		t.Errorf("fractions = %v, %v", e.DetailedFraction(), e.FunctionalFraction())
+	}
+	var z Estimate
+	if z.DetailedFraction() != 0 || z.FunctionalFraction() != 0 {
+		t.Error("zero estimate fractions != 0")
+	}
+}
+
+func TestMeasuredRates(t *testing.T) {
+	p := phasedProgram(t, 30)
+	tm, err := MeasuredRates(p, config.BaseA(), 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.DetailedRate <= 0 || tm.FunctionalRate <= 0 {
+		t.Fatalf("rates = %+v", tm)
+	}
+	if tm.FunctionalRate <= tm.DetailedRate {
+		t.Errorf("functional rate %v not above detailed rate %v", tm.FunctionalRate, tm.DetailedRate)
+	}
+}
+
+func TestDeterministicEstimates(t *testing.T) {
+	p := phasedProgram(t, 15)
+	plan, _, _, err := simpoint.Select(p, simpoint.Config{IntervalLen: 100, Kmax: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := ExecutePlan(p, plan, config.BaseA(), ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ExecutePlan(p, plan, config.BaseA(), ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.CPI != e2.CPI || e1.L1Hit != e2.L1Hit || e1.L2Hit != e2.L2Hit {
+		t.Errorf("nondeterministic estimates: %+v vs %+v", e1, e2)
+	}
+}
+
+func TestConfigBPresent(t *testing.T) {
+	// Both Table I configs must run the pipeline.
+	p := phasedProgram(t, 8)
+	plan, _, _, err := coasts.Select(p, coasts.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range config.All() {
+		if _, err := ExecutePlan(p, plan, cfg, ExecOptions{}); err != nil {
+			t.Errorf("config %s: %v", cfg.Name, err)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package prog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mlpa/internal/isa"
+)
+
+// Assemble parses a textual assembly listing into a Program. The
+// syntax matches Disassemble output plus labels and ';' comments:
+//
+//	init:
+//	    addi r1, r0, 100    ; trip count
+//	loop:
+//	    addi r1, r1, -1
+//	    bne  r1, r0, loop
+//	    halt
+//
+// Branch targets may be labels or absolute instruction indices.
+func Assemble(name, src string) (*Program, error) {
+	type pending struct {
+		pc    int64
+		label string
+		line  int
+	}
+	var (
+		code    []isa.Inst
+		labels  = make(map[string]int64)
+		fixes   []pending
+		lineNum int
+	)
+	fail := func(line int, format string, args ...any) error {
+		return fmt.Errorf("asm %q line %d: %s", name, line, fmt.Sprintf(format, args...))
+	}
+
+	for _, raw := range strings.Split(src, "\n") {
+		lineNum++
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// One or more leading labels.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t,()") {
+				return nil, fail(lineNum, "bad label %q", label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fail(lineNum, "duplicate label %q", label)
+			}
+			labels[label] = int64(len(code))
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		mnemonic, rest, _ := strings.Cut(line, " ")
+		mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+		operands := splitOperands(rest)
+
+		op, ok := opByName(mnemonic)
+		if !ok {
+			return nil, fail(lineNum, "unknown mnemonic %q", mnemonic)
+		}
+		in, labelRef, err := parseOperands(op, operands)
+		if err != nil {
+			return nil, fail(lineNum, "%v", err)
+		}
+		if labelRef != "" {
+			fixes = append(fixes, pending{pc: int64(len(code)), label: labelRef, line: lineNum})
+		}
+		code = append(code, in)
+	}
+
+	for _, f := range fixes {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fail(f.line, "undefined label %q", f.label)
+		}
+		code[f.pc].Targ = target
+	}
+	p := &Program{Name: name, Code: code, Labels: labels}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+var nameToOp = func() map[string]isa.Op {
+	m := make(map[string]isa.Op, isa.NumOps)
+	for o := isa.Op(0); int(o) < isa.NumOps; o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+func opByName(name string) (isa.Op, bool) {
+	o, ok := nameToOp[name]
+	return o, ok
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	if len(s) < 2 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	switch s[0] {
+	case 'r', 'R':
+		if n < 0 || n >= isa.NumIntRegs {
+			return 0, fmt.Errorf("integer register %q out of range", s)
+		}
+		return isa.Reg(n), nil
+	case 'f', 'F':
+		if n < 0 || n >= isa.NumFPRegs {
+			return 0, fmt.Errorf("fp register %q out of range", s)
+		}
+		return isa.F(n), nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "disp(reg)" memory operand syntax.
+func parseMem(s string) (base isa.Reg, disp int64, err error) {
+	open := strings.IndexByte(s, '(')
+	close := strings.IndexByte(s, ')')
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	if d := strings.TrimSpace(s[:open]); d != "" {
+		if disp, err = parseImm(d); err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err = parseReg(strings.TrimSpace(s[open+1 : close]))
+	return base, disp, err
+}
+
+// parseTarget parses a branch target: either a label name (returned in
+// labelRef) or an absolute index.
+func parseTarget(s string) (abs int64, labelRef string, err error) {
+	if s == "" {
+		return 0, "", fmt.Errorf("missing branch target")
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, "", nil
+	}
+	return 0, s, nil
+}
+
+func parseOperands(op isa.Op, ops []string) (in isa.Inst, labelRef string, err error) {
+	in.Op = op
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", op, n, len(ops))
+		}
+		return nil
+	}
+	switch op {
+	case isa.OpNop, isa.OpHalt:
+		err = need(0)
+	case isa.OpJmp:
+		if err = need(1); err == nil {
+			in.Targ, labelRef, err = parseTarget(ops[0])
+		}
+	case isa.OpJal:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseReg(ops[0]); err == nil {
+				in.Targ, labelRef, err = parseTarget(ops[1])
+			}
+		}
+	case isa.OpJr:
+		if err = need(1); err == nil {
+			in.Rs1, err = parseReg(ops[0])
+		}
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		if err = need(3); err == nil {
+			if in.Rs1, err = parseReg(ops[0]); err == nil {
+				if in.Rs2, err = parseReg(ops[1]); err == nil {
+					in.Targ, labelRef, err = parseTarget(ops[2])
+				}
+			}
+		}
+	case isa.OpLd, isa.OpFld:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseReg(ops[0]); err == nil {
+				in.Rs1, in.Imm, err = memOperand(ops[1])
+			}
+		}
+	case isa.OpSt, isa.OpFst:
+		if err = need(2); err == nil {
+			if in.Rs2, err = parseReg(ops[0]); err == nil {
+				in.Rs1, in.Imm, err = memOperand(ops[1])
+			}
+		}
+	case isa.OpLui:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseReg(ops[0]); err == nil {
+				in.Imm, err = parseImm(ops[1])
+			}
+		}
+	case isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpShli, isa.OpShri, isa.OpSlti:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseReg(ops[0]); err == nil {
+				if in.Rs1, err = parseReg(ops[1]); err == nil {
+					in.Imm, err = parseImm(ops[2])
+				}
+			}
+		}
+	case isa.OpFneg, isa.OpFmov, isa.OpCvtIF, isa.OpCvtFI:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseReg(ops[0]); err == nil {
+				in.Rs1, err = parseReg(ops[1])
+			}
+		}
+	default: // three-register forms
+		if err = need(3); err == nil {
+			if in.Rd, err = parseReg(ops[0]); err == nil {
+				if in.Rs1, err = parseReg(ops[1]); err == nil {
+					in.Rs2, err = parseReg(ops[2])
+				}
+			}
+		}
+	}
+	return in, labelRef, err
+}
+
+func memOperand(s string) (base isa.Reg, disp int64, err error) {
+	base, disp, err = parseMem(s)
+	return
+}

@@ -1,0 +1,326 @@
+package prog
+
+import (
+	"fmt"
+
+	"mlpa/internal/isa"
+)
+
+// Builder constructs programs with structured control flow. Branch
+// targets are expressed as labels and resolved at Build time; loops
+// opened with BeginLoop/EndLoop record static LoopInfo metadata.
+type Builder struct {
+	name     string
+	code     []isa.Inst
+	labels   map[string]int64
+	fixups   []fixup
+	loops    []LoopInfo
+	open     []openLoop
+	dataSize int64
+	nextAuto int
+	err      error
+}
+
+type fixup struct {
+	pc    int64
+	label string
+}
+
+type openLoop struct {
+	name      string
+	head      int64
+	loopIndex int
+}
+
+// NewBuilder returns an empty Builder for a program called name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		labels: make(map[string]int64),
+	}
+}
+
+// Err returns the first error recorded while building, if any.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("builder %q: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// PC returns the index the next emitted instruction will occupy.
+func (b *Builder) PC() int64 { return int64(len(b.code)) }
+
+// ReserveData grows the program's declared data segment to at least
+// size bytes.
+func (b *Builder) ReserveData(size int64) {
+	if size > b.dataSize {
+		b.dataSize = size
+	}
+}
+
+// AutoLabel returns a fresh unique label with the given prefix.
+func (b *Builder) AutoLabel(prefix string) string {
+	b.nextAuto++
+	return fmt.Sprintf("%s$%d", prefix, b.nextAuto)
+}
+
+// Label binds name to the current PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = b.PC()
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Inst) {
+	b.code = append(b.code, in)
+}
+
+// Instruction helpers. Each mirrors one opcode; branch forms take a
+// label that is resolved at Build time.
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.Emit(isa.Inst{Op: isa.OpNop}) }
+
+// Halt emits program termination.
+func (b *Builder) Halt() { b.Emit(isa.Inst{Op: isa.OpHalt}) }
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) { b.rrr(isa.OpAdd, rd, rs1, rs2) }
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) { b.rrr(isa.OpSub, rd, rs1, rs2) }
+
+// Mul emits rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) { b.rrr(isa.OpMul, rd, rs1, rs2) }
+
+// Div emits rd = rs1 / rs2.
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) { b.rrr(isa.OpDiv, rd, rs1, rs2) }
+
+// Rem emits rd = rs1 % rs2.
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg) { b.rrr(isa.OpRem, rd, rs1, rs2) }
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) { b.rrr(isa.OpAnd, rd, rs1, rs2) }
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) { b.rrr(isa.OpOr, rd, rs1, rs2) }
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) { b.rrr(isa.OpXor, rd, rs1, rs2) }
+
+// Shl emits rd = rs1 << rs2.
+func (b *Builder) Shl(rd, rs1, rs2 isa.Reg) { b.rrr(isa.OpShl, rd, rs1, rs2) }
+
+// Shr emits rd = rs1 >> rs2 (logical).
+func (b *Builder) Shr(rd, rs1, rs2 isa.Reg) { b.rrr(isa.OpShr, rd, rs1, rs2) }
+
+// Slt emits rd = (rs1 < rs2) ? 1 : 0.
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg) { b.rrr(isa.OpSlt, rd, rs1, rs2) }
+
+// Addi emits rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64) { b.rri(isa.OpAddi, rd, rs1, imm) }
+
+// Andi emits rd = rs1 & imm.
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64) { b.rri(isa.OpAndi, rd, rs1, imm) }
+
+// Ori emits rd = rs1 | imm.
+func (b *Builder) Ori(rd, rs1 isa.Reg, imm int64) { b.rri(isa.OpOri, rd, rs1, imm) }
+
+// Xori emits rd = rs1 ^ imm.
+func (b *Builder) Xori(rd, rs1 isa.Reg, imm int64) { b.rri(isa.OpXori, rd, rs1, imm) }
+
+// Shli emits rd = rs1 << imm.
+func (b *Builder) Shli(rd, rs1 isa.Reg, imm int64) { b.rri(isa.OpShli, rd, rs1, imm) }
+
+// Shri emits rd = rs1 >> imm (logical).
+func (b *Builder) Shri(rd, rs1 isa.Reg, imm int64) { b.rri(isa.OpShri, rd, rs1, imm) }
+
+// Slti emits rd = (rs1 < imm) ? 1 : 0.
+func (b *Builder) Slti(rd, rs1 isa.Reg, imm int64) { b.rri(isa.OpSlti, rd, rs1, imm) }
+
+// Lui emits rd = imm << 16.
+func (b *Builder) Lui(rd isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpLui, Rd: rd, Imm: imm})
+}
+
+// Li loads an arbitrary 64-bit immediate using lui/ori/shli sequences.
+func (b *Builder) Li(rd isa.Reg, v int64) {
+	if v >= -(1<<31) && v < 1<<31 {
+		b.Addi(rd, isa.RZero, v)
+		return
+	}
+	b.Addi(rd, isa.RZero, v>>32)
+	b.Shli(rd, rd, 32)
+	b.Ori(rd, rd, v&0xffffffff)
+}
+
+// Ld emits rd = mem[rs1+imm].
+func (b *Builder) Ld(rd, rs1 isa.Reg, imm int64) { b.rri(isa.OpLd, rd, rs1, imm) }
+
+// St emits mem[rs1+imm] = rs2.
+func (b *Builder) St(rs2, rs1 isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpSt, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// Fld emits fd = mem[rs1+imm].
+func (b *Builder) Fld(fd, rs1 isa.Reg, imm int64) { b.rri(isa.OpFld, fd, rs1, imm) }
+
+// Fst emits mem[rs1+imm] = fs2.
+func (b *Builder) Fst(fs2, rs1 isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpFst, Rs1: rs1, Rs2: fs2, Imm: imm})
+}
+
+// Fadd emits fd = fs1 + fs2.
+func (b *Builder) Fadd(fd, fs1, fs2 isa.Reg) { b.rrr(isa.OpFadd, fd, fs1, fs2) }
+
+// Fsub emits fd = fs1 - fs2.
+func (b *Builder) Fsub(fd, fs1, fs2 isa.Reg) { b.rrr(isa.OpFsub, fd, fs1, fs2) }
+
+// Fmul emits fd = fs1 * fs2.
+func (b *Builder) Fmul(fd, fs1, fs2 isa.Reg) { b.rrr(isa.OpFmul, fd, fs1, fs2) }
+
+// Fdiv emits fd = fs1 / fs2.
+func (b *Builder) Fdiv(fd, fs1, fs2 isa.Reg) { b.rrr(isa.OpFdiv, fd, fs1, fs2) }
+
+// Fneg emits fd = -fs1.
+func (b *Builder) Fneg(fd, fs1 isa.Reg) { b.rr(isa.OpFneg, fd, fs1) }
+
+// Fmov emits fd = fs1.
+func (b *Builder) Fmov(fd, fs1 isa.Reg) { b.rr(isa.OpFmov, fd, fs1) }
+
+// CvtIF emits fd = float(rs1).
+func (b *Builder) CvtIF(fd, rs1 isa.Reg) { b.rr(isa.OpCvtIF, fd, rs1) }
+
+// CvtFI emits rd = int(fs1).
+func (b *Builder) CvtFI(rd, fs1 isa.Reg) { b.rr(isa.OpCvtFI, rd, fs1) }
+
+// FcmpLt emits rd = (fs1 < fs2) ? 1 : 0.
+func (b *Builder) FcmpLt(rd, fs1, fs2 isa.Reg) { b.rrr(isa.OpFcmpLt, rd, fs1, fs2) }
+
+// FcmpEq emits rd = (fs1 == fs2) ? 1 : 0.
+func (b *Builder) FcmpEq(rd, fs1, fs2 isa.Reg) { b.rrr(isa.OpFcmpEq, rd, fs1, fs2) }
+
+// Beq emits a branch to label if rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string) { b.branch(isa.OpBeq, rs1, rs2, label) }
+
+// Bne emits a branch to label if rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string) { b.branch(isa.OpBne, rs1, rs2, label) }
+
+// Blt emits a branch to label if rs1 < rs2.
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string) { b.branch(isa.OpBlt, rs1, rs2, label) }
+
+// Bge emits a branch to label if rs1 >= rs2.
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string) { b.branch(isa.OpBge, rs1, rs2, label) }
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) {
+	b.fixups = append(b.fixups, fixup{pc: b.PC(), label: label})
+	b.Emit(isa.Inst{Op: isa.OpJmp})
+}
+
+// Jal emits a jump-and-link to label, writing the return address into
+// rd (conventionally isa.RRA).
+func (b *Builder) Jal(rd isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{pc: b.PC(), label: label})
+	b.Emit(isa.Inst{Op: isa.OpJal, Rd: rd})
+}
+
+// Jr emits an indirect jump through rs1.
+func (b *Builder) Jr(rs1 isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpJr, Rs1: rs1})
+}
+
+func (b *Builder) rrr(op isa.Op, rd, rs1, rs2 isa.Reg) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+func (b *Builder) rri(op isa.Op, rd, rs1 isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+func (b *Builder) rr(op isa.Op, rd, rs1 isa.Reg) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1})
+}
+
+func (b *Builder) branch(op isa.Op, rs1, rs2 isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{pc: b.PC(), label: label})
+	b.Emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2})
+}
+
+// BeginLoop opens a named loop whose body starts at the current PC.
+// The returned head label can be branched to; EndLoop must close it.
+func (b *Builder) BeginLoop(name string) (head string) {
+	head = b.AutoLabel("loop_" + name)
+	b.Label(head)
+	b.open = append(b.open, openLoop{name: name, head: b.PC(), loopIndex: len(b.loops)})
+	b.loops = append(b.loops, LoopInfo{Name: name, Head: b.PC(), Depth: len(b.open) - 1})
+	return head
+}
+
+// EndLoop closes the innermost open loop, recording its extent.
+func (b *Builder) EndLoop() {
+	if len(b.open) == 0 {
+		b.fail("EndLoop without BeginLoop")
+		return
+	}
+	ol := b.open[len(b.open)-1]
+	b.open = b.open[:len(b.open)-1]
+	b.loops[ol.loopIndex].End = b.PC()
+}
+
+// CountedLoop emits a loop running body() trips times using counter
+// register ctr (clobbered). The loop is recorded in LoopInfo.
+func (b *Builder) CountedLoop(name string, ctr isa.Reg, trips int64, body func()) {
+	b.Li(ctr, trips)
+	head := b.BeginLoop(name)
+	done := b.AutoLabel("done_" + name)
+	b.Beq(ctr, isa.RZero, done)
+	body()
+	b.Addi(ctr, ctr, -1)
+	b.Bne(ctr, isa.RZero, head)
+	b.EndLoop()
+	b.Label(done)
+}
+
+// Build resolves labels and returns the finished, validated Program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.open) > 0 {
+		return nil, fmt.Errorf("builder %q: %d unclosed loops", b.name, len(b.open))
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("builder %q: undefined label %q at pc %d", b.name, f.label, f.pc)
+		}
+		b.code[f.pc].Targ = target
+	}
+	p := &Program{
+		Name:     b.name,
+		Code:     b.code,
+		Labels:   b.labels,
+		Loops:    b.loops,
+		DataSize: b.dataSize,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build, panicking on error; for use in tests and
+// generated-suite construction where failure is a programming bug.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,211 @@
+// Package prog represents executable programs for the mini ISA:
+// instruction sequences with labels, basic-block decomposition, a
+// control-flow graph, and static loop metadata. It also provides a
+// structured Builder for generating programs and a text assembler.
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"mlpa/internal/isa"
+)
+
+// Program is a complete executable for the emulator and the detailed
+// simulator.
+type Program struct {
+	Name   string
+	Code   []isa.Inst
+	Labels map[string]int64 // label -> instruction index
+
+	// Loops carries static loop metadata recorded by the Builder
+	// (ground truth used by tests; the dynamic profiler must discover
+	// the same structure on its own).
+	Loops []LoopInfo
+
+	// DataSize is the number of bytes of data memory the program
+	// expects to be available starting at address 0.
+	DataSize int64
+
+	blocks  []BasicBlock
+	blockOf []int32 // instruction index -> basic block ID
+}
+
+// LoopInfo describes a static loop recorded by the Builder.
+type LoopInfo struct {
+	Name  string
+	Head  int64 // first instruction of the loop body
+	End   int64 // first instruction after the loop (backward branch is at End-1)
+	Depth int   // nesting depth, 0 = outermost
+}
+
+// BasicBlock is a maximal single-entry straight-line code region
+// [Start, End) in instruction indices.
+type BasicBlock struct {
+	ID    int
+	Start int64
+	End   int64
+}
+
+// Len returns the number of instructions in the block.
+func (b BasicBlock) Len() int64 { return b.End - b.Start }
+
+// Validate checks structural invariants: branch targets in range, a
+// halt instruction reachable, labels consistent.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("prog %q: empty program", p.Name)
+	}
+	n := int64(len(p.Code))
+	haveHalt := false
+	for i, in := range p.Code {
+		if !in.Op.Valid() {
+			return fmt.Errorf("prog %q: instruction %d: invalid opcode", p.Name, i)
+		}
+		if in.Op == isa.OpHalt {
+			haveHalt = true
+		}
+		if in.Op.IsBranch() && in.Op != isa.OpJr {
+			if in.Targ < 0 || in.Targ >= n {
+				return fmt.Errorf("prog %q: instruction %d (%s): target %d out of range [0,%d)", p.Name, i, in, in.Targ, n)
+			}
+		}
+	}
+	if !haveHalt {
+		return fmt.Errorf("prog %q: no halt instruction", p.Name)
+	}
+	for name, idx := range p.Labels {
+		if idx < 0 || idx > n {
+			return fmt.Errorf("prog %q: label %q out of range", p.Name, name)
+		}
+	}
+	return nil
+}
+
+// BasicBlocks returns the basic-block decomposition, computing and
+// caching it on first use.
+func (p *Program) BasicBlocks() []BasicBlock {
+	if p.blocks == nil {
+		p.computeBlocks()
+	}
+	return p.blocks
+}
+
+// NumBlocks returns the number of basic blocks.
+func (p *Program) NumBlocks() int { return len(p.BasicBlocks()) }
+
+// BlockOf returns the ID of the basic block containing instruction
+// index pc. It panics if pc is out of range.
+func (p *Program) BlockOf(pc int64) int {
+	if p.blockOf == nil {
+		p.computeBlocks()
+	}
+	return int(p.blockOf[pc])
+}
+
+// BlockTable returns the instruction-index-to-block-ID table; entry i
+// is the block containing instruction i. The caller must not modify
+// the returned slice.
+func (p *Program) BlockTable() []int32 {
+	if p.blockOf == nil {
+		p.computeBlocks()
+	}
+	return p.blockOf
+}
+
+func (p *Program) computeBlocks() {
+	n := int64(len(p.Code))
+	leaders := map[int64]bool{0: true}
+	for i, in := range p.Code {
+		if !in.Op.IsBranch() {
+			continue
+		}
+		if in.Op != isa.OpJr && in.Targ >= 0 && in.Targ < n {
+			leaders[in.Targ] = true
+		}
+		if int64(i)+1 < n {
+			leaders[int64(i)+1] = true
+		}
+	}
+	starts := make([]int64, 0, len(leaders))
+	for s := range leaders {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	p.blocks = make([]BasicBlock, len(starts))
+	p.blockOf = make([]int32, n)
+	for i, s := range starts {
+		end := n
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		p.blocks[i] = BasicBlock{ID: i, Start: s, End: end}
+		for pc := s; pc < end; pc++ {
+			p.blockOf[pc] = int32(i)
+		}
+	}
+}
+
+// Successors returns the IDs of the possible successor blocks of block
+// id: fall-through and/or branch target. Indirect jumps (jr) report no
+// static successors.
+func (p *Program) Successors(id int) []int {
+	blocks := p.BasicBlocks()
+	b := blocks[id]
+	last := p.Code[b.End-1]
+	var succ []int
+	n := int64(len(p.Code))
+	switch {
+	case last.Op == isa.OpJmp || last.Op == isa.OpJal:
+		succ = append(succ, p.BlockOf(last.Targ))
+	case last.Op == isa.OpJr || last.Op == isa.OpHalt:
+		// unknown / none
+	case last.Op.IsCondBranch():
+		succ = append(succ, p.BlockOf(last.Targ))
+		if b.End < n {
+			succ = append(succ, p.BlockOf(b.End))
+		}
+	default:
+		if b.End < n {
+			succ = append(succ, p.BlockOf(b.End))
+		}
+	}
+	return succ
+}
+
+// Disassemble renders the whole program, annotating labels.
+func (p *Program) Disassemble() string {
+	byIdx := make(map[int64][]string)
+	for name, idx := range p.Labels {
+		byIdx[idx] = append(byIdx[idx], name)
+	}
+	var out []byte
+	for i, in := range p.Code {
+		if names, ok := byIdx[int64(i)]; ok {
+			sort.Strings(names)
+			for _, name := range names {
+				out = append(out, (name + ":\n")...)
+			}
+		}
+		out = append(out, fmt.Sprintf("%6d:  %s\n", i, in)...)
+	}
+	return string(out)
+}
+
+// StaticLoopAt returns the innermost static loop containing pc, if the
+// Builder recorded any.
+func (p *Program) StaticLoopAt(pc int64) (LoopInfo, bool) {
+	best := -1
+	for i, l := range p.Loops {
+		if pc >= l.Head && pc < l.End {
+			if best < 0 || l.Depth > p.Loops[best].Depth {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return LoopInfo{}, false
+	}
+	return p.Loops[best], true
+}

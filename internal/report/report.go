@@ -1,0 +1,168 @@
+// Package report renders experiment results as ASCII tables and
+// plots, matching the artifacts of the paper: per-benchmark bar lists
+// for the speedup figures, deviation tables, and the Figure 1 phase
+// trajectories.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned ASCII table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// BarChart renders named values as horizontal ASCII bars (the Fig. 3 /
+// Fig. 4 style), scaled to maxWidth characters.
+func BarChart(title string, names []string, values []float64, unit string, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title + "\n")
+	}
+	for i, n := range names {
+		bar := int(math.Round(values[i] / max * float64(maxWidth)))
+		if bar < 0 {
+			bar = 0
+		}
+		sb.WriteString(fmt.Sprintf("%s  %s %.2f%s\n", pad(n, nameW), strings.Repeat("#", bar), values[i], unit))
+	}
+	return sb.String()
+}
+
+// LinePlot renders one or more y-series over a shared integer x-axis
+// as an ASCII scatter (the Fig. 1 style). marks[i], when true, plots
+// the sample at x=i with 'o' instead of the series glyph (the
+// simulation-point check marks).
+func LinePlot(title string, ys []float64, marks []bool, width, height int) string {
+	if len(ys) == 0 {
+		return title + "\n(no data)\n"
+	}
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		minY = math.Min(minY, y)
+		maxY = math.Max(maxY, y)
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	n := len(ys)
+	for i, y := range ys {
+		col := i * (width - 1) / max1(n-1)
+		row := int((maxY - y) / (maxY - minY) * float64(height-1))
+		glyph := byte('.')
+		if i < len(marks) && marks[i] {
+			glyph = 'o'
+		}
+		if grid[row][col] != 'o' { // marks win collisions
+			grid[row][col] = glyph
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title + "\n")
+	}
+	sb.WriteString(fmt.Sprintf("%10.3g +%s\n", maxY, ""))
+	for _, row := range grid {
+		sb.WriteString("           |" + string(row) + "\n")
+	}
+	sb.WriteString(fmt.Sprintf("%10.3g +%s\n", minY, strings.Repeat("-", width)))
+	sb.WriteString(fmt.Sprintf("            interval 0 .. %d   ('o' = selected simulation point)\n", n-1))
+	return sb.String()
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "Name", "Value")
+	tb.AddRow("alpha", "1.0")
+	tb.AddRow("b", "22.5")
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "Name") || !strings.Contains(out, "Value") {
+		t.Error("missing headers")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "22.5") {
+		t.Error("missing cells")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: both rows have the same prefix width before col 2.
+	idx1 := strings.Index(lines[3], "1.0")
+	idx2 := strings.Index(lines[4], "22.5")
+	if idx1 != idx2 {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("only")
+	if out := tb.String(); !strings.Contains(out, "only") {
+		t.Errorf("short row lost: %s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("Speedups", []string{"x", "longer"}, []float64{1, 4}, "x", 20)
+	if !strings.Contains(out, "Speedups") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "####################") {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Error("missing proportional bar")
+	}
+	if !strings.Contains(out, "4.00x") {
+		t.Error("missing value label")
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	out := BarChart("", []string{"z"}, []float64{0}, "", 10)
+	if !strings.Contains(out, "0.00") {
+		t.Errorf("zero chart: %s", out)
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	ys := []float64{0, 1, 2, 3, 2, 1, 0, 1, 2, 3}
+	marks := make([]bool, len(ys))
+	marks[3] = true
+	out := LinePlot("Trajectory", ys, marks, 40, 8)
+	if !strings.Contains(out, "Trajectory") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("missing mark glyph")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("missing data glyphs")
+	}
+	if !strings.Contains(out, "interval 0 .. 9") {
+		t.Error("missing axis label")
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	out := LinePlot("E", nil, nil, 10, 5)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %s", out)
+	}
+}
+
+func TestLinePlotConstantSeries(t *testing.T) {
+	out := LinePlot("C", []float64{5, 5, 5}, nil, 10, 4)
+	if out == "" {
+		t.Error("constant series produced nothing")
+	}
+}

@@ -1,0 +1,96 @@
+// Package stats provides the aggregate statistics the paper's tables
+// report: geometric and arithmetic means, relative deviations, and
+// average/worst-case accumulators.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// GeoMean returns the geometric mean of xs (the paper's AVG rows use
+// geometric means). Non-positive entries are rejected with NaN.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// ArithMean returns the arithmetic mean of xs.
+func ArithMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Deviation returns the relative deviation |est-truth| / |truth|,
+// the paper's error metric. A zero truth with nonzero estimate yields
+// +Inf; zero/zero yields 0.
+func Deviation(est, truth float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}
+
+// Agg accumulates deviations for one (metric, method, config) cell of
+// Table II: geometric-mean-friendly average plus worst case.
+type Agg struct {
+	values []float64
+	worst  float64
+	names  []string
+	wName  string
+}
+
+// Add records one benchmark's deviation.
+func (a *Agg) Add(name string, dev float64) {
+	a.values = append(a.values, dev)
+	a.names = append(a.names, name)
+	if dev > a.worst {
+		a.worst = dev
+		a.wName = name
+	}
+}
+
+// N returns the number of recorded values.
+func (a *Agg) N() int { return len(a.values) }
+
+// Avg returns the arithmetic mean deviation. (Geometric means are
+// undefined when any deviation is zero, which happens routinely for
+// hit-rate deviations, so averages of deviations use the arithmetic
+// mean; speedups use GeoMean.)
+func (a *Agg) Avg() float64 { return ArithMean(a.values) }
+
+// Worst returns the worst deviation and the benchmark that caused it.
+func (a *Agg) Worst() (float64, string) { return a.worst, a.wName }
+
+// Values returns the recorded deviations in insertion order.
+func (a *Agg) Values() []float64 { return a.values }
+
+// FormatPct renders a fraction as a percentage with two decimals, the
+// paper's table style.
+func FormatPct(x float64) string {
+	if math.IsNaN(x) {
+		return "n/a"
+	}
+	if math.IsInf(x, 0) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f%%", x*100)
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); got != 4 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{5}); got != 5 {
+		t.Errorf("GeoMean(5) = %v", got)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("GeoMean(nil) != NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Error("GeoMean with zero != NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -2})) {
+		t.Error("GeoMean with negative != NaN")
+	}
+}
+
+func TestArithMean(t *testing.T) {
+	if got := ArithMean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("ArithMean = %v", got)
+	}
+	if !math.IsNaN(ArithMean(nil)) {
+		t.Error("ArithMean(nil) != NaN")
+	}
+}
+
+func TestDeviation(t *testing.T) {
+	if got := Deviation(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Deviation = %v, want 0.1", got)
+	}
+	if got := Deviation(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Deviation = %v, want 0.1", got)
+	}
+	if got := Deviation(0, 0); got != 0 {
+		t.Errorf("Deviation(0,0) = %v", got)
+	}
+	if got := Deviation(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("Deviation(1,0) = %v", got)
+	}
+	if got := Deviation(-110, -100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Deviation negatives = %v", got)
+	}
+}
+
+func TestAgg(t *testing.T) {
+	var a Agg
+	a.Add("x", 0.01)
+	a.Add("y", 0.05)
+	a.Add("z", 0.03)
+	if a.N() != 3 {
+		t.Errorf("N = %d", a.N())
+	}
+	if got := a.Avg(); math.Abs(got-0.03) > 1e-12 {
+		t.Errorf("Avg = %v", got)
+	}
+	w, name := a.Worst()
+	if w != 0.05 || name != "y" {
+		t.Errorf("Worst = %v, %q", w, name)
+	}
+	if len(a.Values()) != 3 {
+		t.Errorf("Values = %v", a.Values())
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if got := FormatPct(0.0143); got != "1.43%" {
+		t.Errorf("FormatPct = %q", got)
+	}
+	if got := FormatPct(math.NaN()); got != "n/a" {
+		t.Errorf("FormatPct(NaN) = %q", got)
+	}
+	if got := FormatPct(math.Inf(1)); got != "inf" {
+		t.Errorf("FormatPct(Inf) = %q", got)
+	}
+}
+
+// Property: GeoMean <= ArithMean for positive data (AM-GM).
+func TestAMGM(t *testing.T) {
+	f := func(raw [6]float64) bool {
+		xs := make([]float64, 6)
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			xs[i] = math.Abs(math.Mod(x, 100)) + 0.1
+		}
+		return GeoMean(xs) <= ArithMean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: deviation is scale-invariant.
+func TestDeviationScaleInvariant(t *testing.T) {
+	f := func(e, tr float64, scaleRaw uint8) bool {
+		if math.IsNaN(e) || math.IsNaN(tr) || math.IsInf(e, 0) || math.IsInf(tr, 0) || tr == 0 {
+			return true
+		}
+		if math.Abs(e) > 1e300 || math.Abs(tr) > 1e300 {
+			return true // scaling would overflow
+		}
+		s := float64(scaleRaw%9) + 1
+		d1 := Deviation(e, tr)
+		d2 := Deviation(e*s, tr*s)
+		if math.IsInf(d1, 0) || d1 > 1e12 {
+			return true
+		}
+		return math.Abs(d1-d2) < 1e-9*(1+d1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package trace serializes interval traces (the BBV profiling
+// artifacts) to a compact binary format, so profiling and clustering
+// can run as separate pipeline stages — the way SimPoint consumes
+// frequency-vector files produced by a profiler.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"mlpa/internal/phase"
+)
+
+// magic identifies the trace format and its version.
+var magic = [8]byte{'M', 'L', 'P', 'A', 'T', 'R', 'C', '1'}
+
+// Write serializes tr.
+func Write(w io.Writer, tr *phase.Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := writeString(bw, tr.Benchmark); err != nil {
+		return err
+	}
+	if err := writeString(bw, string(tr.Kind)); err != nil {
+		return err
+	}
+	dims := 0
+	if len(tr.Intervals) > 0 {
+		dims = len(tr.Intervals[0].Vector)
+	}
+	for _, v := range []uint64{tr.Origin, tr.TotalInsts, uint64(len(tr.Intervals)), uint64(dims)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, iv := range tr.Intervals {
+		if len(iv.Vector) != dims {
+			return fmt.Errorf("trace: interval %d has %d dims, first had %d", iv.Index, len(iv.Vector), dims)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, iv.Start); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, iv.End); err != nil {
+			return err
+		}
+		for _, x := range iv.Vector {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(x)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write and validates it.
+func Read(r io.Reader) (*phase.Trace, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+	}
+	origin, total, n, dims := hdr[0], hdr[1], hdr[2], hdr[3]
+	const maxIntervals = 1 << 28
+	if n > maxIntervals || dims > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible header (%d intervals, %d dims)", n, dims)
+	}
+	tr := &phase.Trace{
+		Benchmark:  name,
+		Kind:       phase.Kind(kind),
+		Origin:     origin,
+		TotalInsts: total,
+		Intervals:  make([]phase.Interval, n),
+	}
+	for i := uint64(0); i < n; i++ {
+		iv := &tr.Intervals[i]
+		iv.Index = int(i)
+		if err := binary.Read(br, binary.LittleEndian, &iv.Start); err != nil {
+			return nil, fmt.Errorf("trace: interval %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &iv.End); err != nil {
+			return nil, fmt.Errorf("trace: interval %d: %w", i, err)
+		}
+		iv.Vector = make([]float64, dims)
+		for d := range iv.Vector {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, fmt.Errorf("trace: interval %d dim %d: %w", i, d, err)
+			}
+			iv.Vector[d] = math.Float64frombits(bits)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", fmt.Errorf("trace: reading string length: %w", err)
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("trace: reading string: %w", err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"mlpa/internal/phase"
+)
+
+func sampleTrace() *phase.Trace {
+	return &phase.Trace{
+		Benchmark:  "bm",
+		Kind:       phase.FixedLength,
+		TotalInsts: 30,
+		Intervals: []phase.Interval{
+			{Index: 0, Start: 0, End: 10, Vector: []float64{0.5, 0.5}},
+			{Index: 1, Start: 10, End: 20, Vector: []float64{1, 0}},
+			{Index: 2, Start: 20, End: 30, Vector: []float64{0, 1}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != tr.Benchmark || got.Kind != tr.Kind || got.TotalInsts != tr.TotalInsts {
+		t.Errorf("header = %+v", got)
+	}
+	if len(got.Intervals) != len(tr.Intervals) {
+		t.Fatalf("intervals = %d", len(got.Intervals))
+	}
+	for i, iv := range tr.Intervals {
+		g := got.Intervals[i]
+		if g.Start != iv.Start || g.End != iv.End {
+			t.Errorf("interval %d bounds: %+v", i, g)
+		}
+		for d := range iv.Vector {
+			if g.Vector[d] != iv.Vector[d] {
+				t.Errorf("interval %d dim %d: %v != %v", i, d, g.Vector[d], iv.Vector[d])
+			}
+		}
+	}
+}
+
+func TestRangeTraceRoundTrip(t *testing.T) {
+	tr := &phase.Trace{
+		Benchmark:  "r",
+		Kind:       phase.FixedLength,
+		Origin:     100,
+		TotalInsts: 120,
+		Intervals: []phase.Interval{
+			{Index: 0, Start: 100, End: 120, Vector: []float64{1}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != 100 {
+		t.Errorf("origin = %d", got.Origin)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := Read(bytes.NewReader([]byte("NOTATRACE123"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated stream.
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{4, 12, 20, len(data) - 5} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestWriteRejectsRaggedVectors(t *testing.T) {
+	tr := sampleTrace()
+	tr.Intervals[1].Vector = []float64{1, 2, 3}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err == nil {
+		t.Error("ragged vectors accepted")
+	}
+}
+
+func TestReadValidates(t *testing.T) {
+	tr := sampleTrace()
+	tr.Intervals[2].End = 25 // coverage hole vs TotalInsts
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("invalid trace accepted on read")
+	}
+}

@@ -1,0 +1,149 @@
+package vli
+
+import (
+	"testing"
+
+	"mlpa/internal/bench"
+	"mlpa/internal/sampling"
+	"mlpa/internal/simpoint"
+)
+
+func testCfg() Config {
+	return Config{
+		TargetLen: bench.FineInterval(bench.SizeTiny),
+		Kmax:      30,
+		Seed:      1,
+	}
+}
+
+func TestChooseStructureFindsInnerLoop(t *testing.T) {
+	spec, err := bench.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.MustProgram(bench.SizeTiny)
+	heads, err := ChooseStructures(p, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heads) == 0 {
+		t.Fatal("no structures chosen for a loop-heavy benchmark")
+	}
+	// The outer loop must not be among them: its iterations are far
+	// larger than half the target.
+	for _, h := range heads {
+		if h == bench.OuterLoopHead(p) {
+			t.Error("chose the outer loop as fine boundary structure")
+		}
+	}
+}
+
+func TestProfileBoundariesAreVariable(t *testing.T) {
+	spec, err := bench.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.MustProgram(bench.SizeTiny)
+	cfg := testCfg()
+	heads, err := ChooseStructures(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Profile(p, heads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Intervals are at least the target long and genuinely variable.
+	varied := false
+	first := tr.Intervals[0].Len()
+	for _, iv := range tr.Intervals[:len(tr.Intervals)-1] {
+		if iv.Len() < cfg.TargetLen {
+			t.Fatalf("interval %d shorter (%d) than target %d", iv.Index, iv.Len(), cfg.TargetLen)
+		}
+		if iv.Len() != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("all intervals identical; boundaries not variable")
+	}
+}
+
+func TestProfileFixedFallback(t *testing.T) {
+	spec, err := bench.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.MustProgram(bench.SizeTiny)
+	cfg := testCfg()
+	tr, err := Profile(p, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kind != "fixed" {
+		t.Errorf("fallback kind = %v", tr.Kind)
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	spec, _ := bench.ByName("gzip")
+	p := spec.MustProgram(bench.SizeTiny)
+	if _, err := Profile(p, nil, Config{}); err == nil {
+		t.Error("zero TargetLen accepted")
+	}
+}
+
+// TestPaperClaimVLINoSpeedup reproduces the Section V observation:
+// variable-length intervals do not reduce simulation time relative to
+// fixed-length SimPoint — the dominant functional portion stays.
+func TestPaperClaimVLINoSpeedup(t *testing.T) {
+	tm := sampling.SimpleScalarRates
+	var ratios []float64
+	for _, name := range []string{"gzip", "swim", "crafty"} {
+		spec, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := spec.MustProgram(bench.SizeTiny)
+		vliPlan, _, _, err := Select(p, testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		spPlan, _, _, err := simpoint.Select(p, simpoint.Config{
+			IntervalLen: bench.FineInterval(bench.SizeTiny), Kmax: 30, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios = append(ratios, tm.Speedup(vliPlan, spPlan))
+	}
+	for i, r := range ratios {
+		// "Does not gain performance improvement": within ~2x either
+		// way of fixed SimPoint, nothing like the coarse method's
+		// order-of-magnitude wins.
+		if r > 3 || r < 1.0/3 {
+			t.Errorf("VLI/SimPoint time ratio %d = %v; expected near parity", i, r)
+		}
+	}
+}
+
+func TestSelectPlanValid(t *testing.T) {
+	spec, _ := bench.ByName("equake")
+	p := spec.MustProgram(bench.SizeTiny)
+	plan, tr, km, err := Select(p, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method != MethodName {
+		t.Errorf("method = %q", plan.Method)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if km.K < 2 || len(tr.Intervals) < 10 {
+		t.Errorf("K=%d intervals=%d", km.K, len(tr.Intervals))
+	}
+}
