@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet build test race bench clean
+
+## check: the full gate — vet, build, and the race-enabled test suite.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: machine-readable perf/accuracy snapshot (BENCH_<date>.json).
+bench:
+	$(GO) run ./cmd/mlpa bench -size tiny
+
+clean:
+	rm -f BENCH_*.json

@@ -12,11 +12,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"mlpa/internal/bbv"
 	"mlpa/internal/bench"
 	"mlpa/internal/coasts"
 	"mlpa/internal/linalg"
+	"mlpa/internal/obs"
 	"mlpa/internal/phase"
 	"mlpa/internal/trace"
 )
@@ -38,10 +40,32 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "projection seed")
 		pca         = flag.Int("pca", 0, "emit only the first N principal components (0 = raw signature)")
 		out         = flag.String("o", "", "write a binary trace file instead of CSV")
+		verbose     = flag.Bool("v", false, "emit profiling-stage spans as JSONL on stderr")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
-	tr, err := obtainTrace(*benchName, *in, *size, *granularity, *dims, *seed)
+	if *cpuprofile != "" {
+		cf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+		}()
+	}
+	var rt *obs.Runtime
+	if *verbose {
+		// CSV goes to stdout, so the span stream stays on stderr.
+		rt = obs.New(obs.NewJSONLSink(os.Stderr))
+	}
+
+	tr, err := obtainTrace(*benchName, *in, *size, *granularity, *dims, *seed, rt)
 	if err != nil {
 		return err
 	}
@@ -61,7 +85,7 @@ func run() error {
 	return writeCSV(tr, *pca)
 }
 
-func obtainTrace(benchName, in, size, granularity string, dims int, seed int64) (*phase.Trace, error) {
+func obtainTrace(benchName, in, size, granularity string, dims int, seed int64, rt *obs.Runtime) (*phase.Trace, error) {
 	if in != "" {
 		f, err := os.Open(in)
 		if err != nil {
@@ -100,7 +124,7 @@ func obtainTrace(benchName, in, size, granularity string, dims int, seed int64) 
 	case "fine":
 		return phase.CollectFixed(p, proj, bench.FineInterval(sz))
 	case "coarse":
-		cfg := coasts.Config{Dims: dims, Seed: seed}
+		cfg := coasts.Config{Dims: dims, Seed: seed, Obs: rt}
 		b, err := coasts.CollectBoundaries(p, cfg)
 		if err != nil {
 			return nil, err

@@ -11,7 +11,7 @@ import (
 )
 
 func TestObtainTraceFine(t *testing.T) {
-	tr, err := obtainTrace("gzip", "", "tiny", "fine", bbv.DefaultDims, 1)
+	tr, err := obtainTrace("gzip", "", "tiny", "fine", bbv.DefaultDims, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +21,7 @@ func TestObtainTraceFine(t *testing.T) {
 }
 
 func TestObtainTraceCoarse(t *testing.T) {
-	tr, err := obtainTrace("gzip", "", "tiny", "coarse", bbv.DefaultDims, 1)
+	tr, err := obtainTrace("gzip", "", "tiny", "coarse", bbv.DefaultDims, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestObtainTraceCoarse(t *testing.T) {
 }
 
 func TestObtainTraceFromFile(t *testing.T) {
-	tr, err := obtainTrace("swim", "", "tiny", "fine", 8, 2)
+	tr, err := obtainTrace("swim", "", "tiny", "fine", 8, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestObtainTraceFromFile(t *testing.T) {
 	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	back, err := obtainTrace("", path, "", "", 0, 0)
+	back, err := obtainTrace("", path, "", "", 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,16 +53,16 @@ func TestObtainTraceFromFile(t *testing.T) {
 }
 
 func TestObtainTraceErrors(t *testing.T) {
-	if _, err := obtainTrace("", "", "tiny", "fine", 15, 1); err == nil {
+	if _, err := obtainTrace("", "", "tiny", "fine", 15, 1, nil); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, err := obtainTrace("bogus", "", "tiny", "fine", 15, 1); err == nil {
+	if _, err := obtainTrace("bogus", "", "tiny", "fine", 15, 1, nil); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if _, err := obtainTrace("gzip", "", "huge", "fine", 15, 1); err == nil {
+	if _, err := obtainTrace("gzip", "", "huge", "fine", 15, 1, nil); err == nil {
 		t.Error("unknown size accepted")
 	}
-	if _, err := obtainTrace("gzip", "", "tiny", "diagonal", 15, 1); err == nil {
+	if _, err := obtainTrace("gzip", "", "tiny", "diagonal", 15, 1, nil); err == nil {
 		t.Error("unknown granularity accepted")
 	}
 }

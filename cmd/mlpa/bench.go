@@ -1,0 +1,159 @@
+// The bench subcommand is the machine-readable companion to table2: it
+// times selection, ground truth and sampled execution per benchmark and
+// writes everything to BENCH_<date>.json, so runs are diffable across
+// commits without scraping table output.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mlpa/internal/experiments"
+	"mlpa/internal/pipeline"
+)
+
+// benchReport is the BENCH_<date>.json document.
+type benchReport struct {
+	Schema     int          `json:"schema"`
+	Date       string       `json:"date"`
+	Size       string       `json:"size"`
+	Seed       int64        `json:"seed"`
+	Configs    []string     `json:"configs"`
+	WallTotal  int64        `json:"wall_total_ns"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Benchmark     string `json:"benchmark"`
+	TotalInsts    uint64 `json:"total_insts"`
+	WallSelection int64  `json:"wall_selection_ns"`
+	// WallTruth maps config name to the full detailed run's wall time.
+	WallTruth map[string]int64 `json:"wall_truth_ns"`
+	Methods   []benchMethod    `json:"methods"`
+}
+
+type benchMethod struct {
+	Method           string  `json:"method"`
+	Config           string  `json:"config"`
+	Points           int     `json:"points"`
+	DetailedFraction float64 `json:"detailed_fraction"`
+	TrueCPI          float64 `json:"true_cpi"`
+	EstCPI           float64 `json:"est_cpi"`
+	CPIDev           float64 `json:"cpi_dev"`
+	L1Dev            float64 `json:"l1_dev"`
+	L2Dev            float64 `json:"l2_dev"`
+	WallEstimate     int64   `json:"wall_estimate_ns"`
+}
+
+func runBench(f *flags) error {
+	o, err := f.options()
+	if err != nil {
+		return err
+	}
+	configs, err := f.cpuConfigs()
+	if err != nil {
+		return err
+	}
+	rep := &benchReport{
+		Schema: 1,
+		Date:   time.Now().Format("2006-01-02"),
+		Size:   f.size,
+		Seed:   f.seed,
+	}
+	for _, cfg := range configs {
+		rep.Configs = append(rep.Configs, cfg.Name)
+	}
+
+	// One single-benchmark study per entry, so selection wall time is
+	// attributable per benchmark rather than amortized over the suite.
+	names := o.Benchmarks
+	if len(names) == 0 {
+		full, err := experiments.NewStudy(experiments.Options{Size: o.Size, Seed: o.Seed})
+		if err != nil {
+			return err
+		}
+		for _, pl := range full.Plans {
+			names = append(names, pl.Spec.Name)
+		}
+	}
+
+	t0 := time.Now()
+	for _, name := range names {
+		bo := o
+		bo.Benchmarks = []string{name}
+		selStart := time.Now()
+		st, err := experiments.NewStudy(bo)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", name, err)
+		}
+		entry := benchEntry{
+			Benchmark:     name,
+			WallSelection: time.Since(selStart).Nanoseconds(),
+			WallTruth:     make(map[string]int64),
+		}
+		pl := st.Plans[0]
+		p, err := pl.Spec.Program(o.Size)
+		if err != nil {
+			return err
+		}
+		for _, cfg := range configs {
+			truth, truthWall, err := pipeline.FullDetailed(p, cfg)
+			if err != nil {
+				return fmt.Errorf("bench %s config %s: %w", name, cfg.Name, err)
+			}
+			entry.WallTruth[cfg.Name] = truthWall.Nanoseconds()
+			for _, method := range experiments.Methods() {
+				plan, err := pl.ByMethod(method)
+				if err != nil {
+					return err
+				}
+				est, err := pipeline.ExecutePlan(p, plan, cfg, pipeline.ExecOptions{
+					Warmup: st.Opts.Warmup, DetailLeadIn: st.Opts.DetailLeadIn,
+					Obs: f.rt,
+				})
+				if err != nil {
+					return fmt.Errorf("bench %s/%s config %s: %w", name, method, cfg.Name, err)
+				}
+				cpiDev, l1Dev, l2Dev := pipeline.Deviations(est, truth)
+				entry.Methods = append(entry.Methods, benchMethod{
+					Method:           method,
+					Config:           cfg.Name,
+					Points:           est.Points,
+					DetailedFraction: est.DetailedFraction(),
+					TrueCPI:          truth.CPI(),
+					EstCPI:           est.CPI,
+					CPIDev:           cpiDev,
+					L1Dev:            l1Dev,
+					L2Dev:            l2Dev,
+					WallEstimate:     est.Wall().Nanoseconds(),
+				})
+				entry.TotalInsts = est.TotalInsts
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, entry)
+		fmt.Printf("bench %s: selection %v, truth %v (config %s)\n",
+			name, time.Duration(entry.WallSelection).Round(time.Millisecond),
+			time.Duration(entry.WallTruth[configs[0].Name]).Round(time.Millisecond), configs[0].Name)
+	}
+	rep.WallTotal = time.Since(t0).Nanoseconds()
+
+	out := fmt.Sprintf("BENCH_%s.json", rep.Date)
+	if f.dir != "" {
+		if err := os.MkdirAll(f.dir, 0o755); err != nil {
+			return err
+		}
+		out = filepath.Join(f.dir, out)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks x %d configs)\n", out, len(rep.Benchmarks), len(configs))
+	return nil
+}

@@ -9,10 +9,19 @@
 //	mlpa motivation                 Section III coarse-phase analysis
 //	mlpa ablation [-bench name]     design-choice sweeps (granularity, Kmax, ...)
 //	mlpa checkpoint [-bench -method -dir] checkpointed-point simulation flow
+//	mlpa bench [-config A,B -dir d]  machine-readable BENCH_<date>.json harness
+//	mlpa inspect <run.jsonl>        render a recorded run journal
 //	mlpa all                        figures and tables above
 //
 // Shared flags: -size tiny|small|ref, -seed N, -benchmarks a,b,c,
 // -rates simplescalar|measured.
+//
+// Observability flags (every command): -journal file.jsonl records a
+// structured run journal (manifest, stage spans, per-point records,
+// estimates, deviations) that `mlpa inspect` renders; -metrics file
+// dumps the metrics registry as JSON on exit; -v logs stage progress
+// to stderr; -pprof addr serves net/http/pprof; -cpuprofile/-memprofile
+// write runtime profiles.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"mlpa/internal/config"
 	"mlpa/internal/cpu"
 	"mlpa/internal/experiments"
+	"mlpa/internal/obs"
 	"mlpa/internal/pipeline"
 	"mlpa/internal/report"
 	"mlpa/internal/sampling"
@@ -48,6 +58,20 @@ type flags struct {
 	rates      string
 	method     string
 	dir        string
+
+	// Observability surface.
+	journal    string
+	metrics    string
+	verbose    bool
+	pprofAddr  string
+	cpuprofile string
+	memprofile string
+
+	// rt is the observability runtime wired by setupObs; nil-safe, so
+	// commands use it unconditionally.
+	rt *obs.Runtime
+	// args are the positional arguments after the flags (inspect).
+	args []string
 }
 
 func parseFlags(cmd string, args []string) (*flags, error) {
@@ -61,9 +85,16 @@ func parseFlags(cmd string, args []string) (*flags, error) {
 	fs.StringVar(&f.rates, "rates", "simplescalar", "time model: simplescalar or measured")
 	fs.StringVar(&f.method, "method", "multilevel", "sampling method for checkpoint: coasts, simpoint or multilevel")
 	fs.StringVar(&f.dir, "dir", "", "directory to persist checkpoint files (checkpoint command)")
+	fs.StringVar(&f.journal, "journal", "", "write a JSONL run journal to this file (see `mlpa inspect`)")
+	fs.StringVar(&f.metrics, "metrics", "", "write a JSON metrics-registry snapshot to this file on exit")
+	fs.BoolVar(&f.verbose, "v", false, "log stage progress to stderr")
+	fs.StringVar(&f.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	f.args = fs.Args()
 	return f, nil
 }
 
@@ -84,7 +115,7 @@ func (f *flags) options() (experiments.Options, error) {
 	if err != nil {
 		return experiments.Options{}, err
 	}
-	o := experiments.Options{Size: size, Seed: f.seed}
+	o := experiments.Options{Size: size, Seed: f.seed, Obs: f.rt}
 	if f.benchmarks != "" {
 		o.Benchmarks = strings.Split(f.benchmarks, ",")
 	}
@@ -125,15 +156,28 @@ func (f *flags) cpuConfigs() ([]cpu.Config, error) {
 	return out, nil
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mlpa <fig1|fig3|fig4|table2|table3|points|motivation|all> [flags]")
+		return fmt.Errorf("usage: mlpa <fig1|fig3|fig4|table2|table3|points|motivation|ablation|checkpoint|bench|inspect|all> [flags]")
 	}
 	cmd := args[0]
 	f, err := parseFlags(cmd, args[1:])
 	if err != nil {
 		return err
 	}
+	if cmd == "inspect" {
+		// inspect only reads an existing journal; no run to observe.
+		return runInspect(f)
+	}
+	cleanup, err := setupObs(f, cmd)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := cleanup(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	switch cmd {
 	case "fig1":
 		return runFig1(f)
@@ -158,6 +202,8 @@ func run(args []string) error {
 		return runAblations(f)
 	case "checkpoint":
 		return runCheckpoint(f)
+	case "bench":
+		return runBench(f)
 	case "all":
 		if err := runFig1(f); err != nil {
 			return err

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"testing"
+
+	"mlpa/internal/obs"
 )
 
 // The CLI tests exercise each subcommand end-to-end at tiny scale with
@@ -94,5 +98,114 @@ func TestRunCheckpoint(t *testing.T) {
 	}
 	if err := run([]string{"checkpoint", "-size", "tiny", "-bench", "crafty", "-method", "bogus"}); err == nil {
 		t.Error("unknown method accepted")
+	}
+}
+
+// TestRunJournalAndInspect records a full table2 run journal, checks
+// its structure, and renders it back through inspect.
+func TestRunJournalAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.jsonl")
+	metrics := filepath.Join(dir, "metrics.json")
+	err := run([]string{"table2", "-size", "tiny", "-benchmarks", "gzip", "-config", "A",
+		"-journal", journal, "-metrics", metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jf, err := os.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadJournal(jf)
+	jf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty journal")
+	}
+	if recs[0]["ev"] != "manifest" || recs[0]["tool"] != "mlpa" || recs[0]["command"] != "table2" {
+		t.Errorf("first record is not the manifest: %v", recs[0])
+	}
+	counts := map[any]int{}
+	for _, rec := range recs {
+		counts[rec["ev"]]++
+	}
+	for _, ev := range []string{"span", "point", "estimate", "selection", "deviation", "metrics"} {
+		if counts[ev] == 0 {
+			t.Errorf("journal has no %q records (got %v)", ev, counts)
+		}
+	}
+
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["pipeline.points_executed"] == 0 || snap.Counters["emu.run_insts"] == 0 {
+		t.Errorf("metrics snapshot missing pipeline/emu counters: %v", snap.Counters)
+	}
+
+	if err := run([]string{"inspect", journal}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := run([]string{"inspect"}); err == nil {
+		t.Error("inspect without a journal path succeeded")
+	}
+	if err := run([]string{"inspect", filepath.Join(dir, "missing.jsonl")}); err == nil {
+		t.Error("inspect of a missing file succeeded")
+	}
+}
+
+// TestRunBench checks the machine-readable harness output.
+func TestRunBench(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"bench", "-size", "tiny", "-benchmarks", "gzip", "-config", "A", "-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("bench report files: %v (err %v)", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != 1 || len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Benchmark != "gzip" {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	e := rep.Benchmarks[0]
+	if e.WallSelection <= 0 || e.WallTruth["A"] <= 0 || len(e.Methods) != 3 {
+		t.Errorf("bench entry incomplete: %+v", e)
+	}
+	for _, m := range e.Methods {
+		if m.EstCPI <= 0 || m.TrueCPI <= 0 || m.WallEstimate <= 0 {
+			t.Errorf("bench method %s/%s has empty measurements: %+v", m.Method, m.Config, m)
+		}
+	}
+}
+
+// TestRunProfilingFlags drives the -cpuprofile/-memprofile path.
+func TestRunProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.prof"), filepath.Join(dir, "mem.prof")
+	if err := run([]string{"points", "-size", "tiny", "-bench", "gzip", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err %v)", f, err)
+		}
 	}
 }

@@ -1,0 +1,122 @@
+// Observability wiring for the mlpa command: run journal, metrics
+// snapshot, verbose logging and Go runtime profiling. All of it is
+// opt-in per flag and costs nothing when disabled — the obs.Runtime is
+// nil-safe, so command code threads it through unconditionally.
+package main
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"mlpa/internal/obs"
+)
+
+// setupObs builds the observability runtime the flags describe, stores
+// it on f, and returns a teardown function that flushes everything
+// (metrics snapshot, heap profile, journal file) when the command
+// finishes.
+func setupObs(f *flags, cmd string) (func() error, error) {
+	var journalFile *os.File
+	var sink *obs.JSONLSink
+	if f.journal != "" {
+		jf, err := os.Create(f.journal)
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		journalFile = jf
+		sink = obs.NewJSONLSink(jf)
+	}
+	if sink != nil {
+		f.rt = obs.New(sink)
+	} else {
+		f.rt = obs.New(nil)
+	}
+	if f.verbose {
+		f.rt.SetLogger(os.Stderr)
+	}
+	f.rt.EmitManifest(obs.Manifest{
+		Tool:      "mlpa",
+		Command:   cmd,
+		Benchmark: f.benchmarks,
+		Method:    f.method,
+		Size:      f.size,
+		Seed:      f.seed,
+		Configs:   strings.Split(f.configs, ","),
+		// The hash fingerprints every knob that changes results, so two
+		// journals are comparable iff their hashes match.
+		ConfigHash: obs.ConfigHash(map[string]any{
+			"size": f.size, "seed": f.seed, "benchmarks": f.benchmarks,
+			"configs": f.configs, "rates": f.rates, "method": f.method,
+		}),
+		Args: os.Args[1:],
+	})
+
+	if f.pprofAddr != "" {
+		go func() {
+			// The pprof handlers register on http.DefaultServeMux via
+			// the net/http/pprof import.
+			if err := http.ListenAndServe(f.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mlpa: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "mlpa: serving pprof on http://%s/debug/pprof/\n", f.pprofAddr)
+	}
+
+	var cpuFile *os.File
+	if f.cpuprofile != "" {
+		cf, err := os.Create(f.cpuprofile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = cf
+	}
+
+	return func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			keep(cpuFile.Close())
+		}
+		if f.memprofile != "" {
+			mf, err := os.Create(f.memprofile)
+			if err != nil {
+				keep(fmt.Errorf("memprofile: %w", err))
+			} else {
+				runtime.GC() // settle allocations so the heap profile is current
+				keep(pprof.WriteHeapProfile(mf))
+				keep(mf.Close())
+			}
+		}
+		if f.metrics != "" {
+			mf, err := os.Create(f.metrics)
+			if err != nil {
+				keep(fmt.Errorf("metrics: %w", err))
+			} else {
+				keep(f.rt.Metrics().WriteJSON(mf))
+				keep(mf.Close())
+			}
+		}
+		if sink != nil {
+			// Close the journal with a final metrics record so every
+			// journal carries the run's counters.
+			f.rt.EmitMetrics()
+			keep(sink.Err())
+			keep(journalFile.Close())
+		}
+		return firstErr
+	}, nil
+}

@@ -6,18 +6,22 @@
 //	simrun -file prog.s -mode functional
 //	simrun -bench swim -mode warm          # cache/branch stats only (sim-cache)
 //	simrun -bench gcc -mode detailed -max 1000000
+//	simrun -bench gzip -metrics - -cpuprofile cpu.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mlpa/internal/bench"
 	"mlpa/internal/config"
 	"mlpa/internal/cpu"
 	"mlpa/internal/emu"
+	"mlpa/internal/obs"
 	"mlpa/internal/prog"
 )
 
@@ -28,22 +32,76 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
-		benchName = flag.String("bench", "", "suite benchmark to run")
-		file      = flag.String("file", "", "assembly file to run instead of a suite benchmark")
-		size      = flag.String("size", "small", "suite scale: tiny, small or ref")
-		mode      = flag.String("mode", "detailed", "functional, detailed, or warm (cache/branch stats without timing)")
-		cfgName   = flag.String("config", "A", "machine configuration (A or B) for detailed mode")
-		maxInsts  = flag.Uint64("max", 0, "instruction budget (0 = run to completion)")
+		benchName  = flag.String("bench", "", "suite benchmark to run")
+		file       = flag.String("file", "", "assembly file to run instead of a suite benchmark")
+		size       = flag.String("size", "small", "suite scale: tiny, small or ref")
+		mode       = flag.String("mode", "detailed", "functional, detailed, or warm (cache/branch stats without timing)")
+		cfgName    = flag.String("config", "A", "machine configuration (A or B) for detailed mode")
+		maxInsts   = flag.Uint64("max", 0, "instruction budget (0 = run to completion)")
+		metricsOut = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file (- for stderr)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		cf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err != nil {
+				return
+			}
+			mf, merr := os.Create(*memprofile)
+			if merr != nil {
+				err = merr
+				return
+			}
+			defer mf.Close()
+			runtime.GC()
+			err = pprof.WriteHeapProfile(mf)
+		}()
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		defer func() {
+			if err != nil {
+				return
+			}
+			w := os.Stderr
+			if *metricsOut != "-" {
+				f, ferr := os.Create(*metricsOut)
+				if ferr != nil {
+					err = ferr
+					return
+				}
+				defer f.Close()
+				w = f
+			}
+			err = reg.WriteJSON(w)
+		}()
+	}
 
 	p, err := loadProgram(*benchName, *file, *size)
 	if err != nil {
 		return err
 	}
 	m := emu.New(p, 0)
+	m.Metrics = reg
 
 	switch *mode {
 	case "functional":
@@ -70,6 +128,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		sim.Metrics = reg
 		t0 := time.Now()
 		res, err := sim.Run(m, *maxInsts)
 		if err != nil {
@@ -89,6 +148,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		sim.Metrics = reg
 		budget := *maxInsts
 		if budget == 0 {
 			budget = 1 << 40

@@ -16,6 +16,7 @@ import (
 	"mlpa/internal/bbv"
 	"mlpa/internal/emu"
 	"mlpa/internal/kmeans"
+	"mlpa/internal/obs"
 	"mlpa/internal/phase"
 	"mlpa/internal/prog"
 	"mlpa/internal/sampling"
@@ -42,6 +43,10 @@ type Config struct {
 
 	// BICFraction is the model-selection threshold (default 0.9).
 	BICFraction float64
+
+	// Obs, if non-nil, receives stage spans, clustering metrics and a
+	// per-selection journal record.
+	Obs *obs.Runtime
 }
 
 func (c Config) withDefaults() Config {
@@ -85,7 +90,10 @@ type Boundary struct {
 // coverage filtering and coarse-structure selection.
 func CollectBoundaries(p *prog.Program, cfg Config) (*Boundary, error) {
 	cfg = cfg.withDefaults()
+	span := cfg.Obs.StartSpan("coasts.boundaries", obs.KV("benchmark", p.Name))
+	defer span.End()
 	m := emu.New(p, 0)
+	m.Metrics = cfg.Obs.Metrics()
 	lp := emu.NewLoopProfiler(m)
 	m.Branch = lp.OnBranch
 	if _, err := m.RunToCompletion(1 << 40); err != nil {
@@ -98,6 +106,9 @@ func CollectBoundaries(p *prog.Program, cfg Config) (*Boundary, error) {
 		b.Head = sel.Head
 		b.Structure = sel
 	}
+	span.SetAttr("total_insts", b.TotalInsts)
+	span.SetAttr("structures", len(b.All))
+	span.SetAttr("head", b.Head)
 	return b, nil
 }
 
@@ -106,6 +117,8 @@ func CollectBoundaries(p *prog.Program, cfg Config) (*Boundary, error) {
 // whole program becomes a single interval.
 func Profile(p *prog.Program, b *Boundary, cfg Config) (*phase.Trace, error) {
 	cfg = cfg.withDefaults()
+	span := cfg.Obs.StartSpan("coasts.profile", obs.KV("benchmark", p.Name))
+	defer span.End()
 	proj, err := bbv.NewProjector(p.NumBlocks(), cfg.Dims, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -116,7 +129,11 @@ func Profile(p *prog.Program, b *Boundary, cfg Config) (*phase.Trace, error) {
 		// head yields a single whole-program interval.
 		head = int64(len(p.Code))
 	}
-	return phase.CollectIterations(p, proj, head, cfg.SubChunks)
+	tr, err := phase.CollectIterations(p, proj, head, cfg.SubChunks)
+	if err == nil {
+		span.SetAttr("intervals", len(tr.Intervals))
+	}
+	return tr, err
 }
 
 // SelectFromTrace clusters an iteration trace and picks the earliest
@@ -126,13 +143,19 @@ func SelectFromTrace(tr *phase.Trace, cfg Config) (*sampling.Plan, *kmeans.Resul
 	if len(tr.Intervals) == 0 {
 		return nil, nil, fmt.Errorf("coasts: empty trace for %s", tr.Benchmark)
 	}
+	span := cfg.Obs.StartSpan("coasts.cluster",
+		obs.KV("benchmark", tr.Benchmark), obs.KV("intervals", len(tr.Intervals)))
+	defer span.End()
 	km, err := kmeans.Best(tr.Vectors(), cfg.Kmax, kmeans.Options{
 		Seed:        cfg.Seed,
 		BICFraction: cfg.BICFraction,
+		Metrics:     cfg.Obs.Metrics(),
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	span.SetAttr("k", km.K)
+	span.SetAttr("cluster_sizes", append([]int(nil), km.Sizes...))
 	reps := kmeans.EarliestInCluster(km)
 
 	clusterInsts := make([]uint64, km.K)
@@ -164,6 +187,13 @@ func SelectFromTrace(tr *phase.Trace, cfg Config) (*sampling.Plan, *kmeans.Resul
 	if err := plan.Validate(); err != nil {
 		return nil, nil, err
 	}
+	cfg.Obs.Emit("selection", map[string]any{
+		"benchmark": plan.Benchmark,
+		"method":    MethodName,
+		"k":         km.K,
+		"points":    len(plan.Points),
+		"detailed":  plan.DetailedFraction(),
+	})
 	return plan, km, nil
 }
 

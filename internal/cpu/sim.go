@@ -2,11 +2,13 @@ package cpu
 
 import (
 	"fmt"
+	"time"
 
 	"mlpa/internal/bpred"
 	"mlpa/internal/cache"
 	"mlpa/internal/emu"
 	"mlpa/internal/isa"
+	"mlpa/internal/obs"
 )
 
 // robEntry is one in-flight instruction.
@@ -65,6 +67,19 @@ type Sim struct {
 	cycle   uint64
 	nextSeq uint64
 
+	// Occupancy and flush telemetry, accumulated over the context
+	// lifetime (two integer adds per cycle; RunWindow differences them
+	// per window when Metrics is set).
+	robOccSum uint64
+	lsqOccSum uint64
+	flushes   uint64
+
+	// Metrics, if non-nil, receives per-window telemetry from
+	// RunWindow: gauge cpu.kips, gauges cpu.rob_occupancy /
+	// cpu.lsq_occupancy (average entries per cycle) and counter
+	// cpu.flushes (branch-mispredict pipeline redirects).
+	Metrics *obs.Registry
+
 	// Front-end state.
 	fetchReadyAt   uint64 // cycle fetch may resume (I-miss or redirect)
 	fetchBlockSeq  uint64 // seq of unresolved mispredicted branch, 0 if none
@@ -114,6 +129,10 @@ func (s *Sim) Config() Config { return s.cfg }
 
 // Cycles returns the total cycles simulated by this context.
 func (s *Sim) Cycles() uint64 { return s.cycle }
+
+// Flushes returns the total branch-mispredict pipeline redirects this
+// context has performed.
+func (s *Sim) Flushes() uint64 { return s.flushes }
 
 // watchdogLimit is the number of consecutive cycles without a commit
 // after which Run reports a model deadlock (a bug, not a workload
@@ -179,6 +198,14 @@ func (s *Sim) RunWindow(m *emu.Machine, lead, maxInsts, tail uint64) (Result, er
 		total = lead + maxInsts + tail
 	}
 
+	var t0 time.Time
+	var startCycles, startRobOcc, startLsqOcc, startFlushes uint64
+	if s.Metrics != nil {
+		t0 = time.Now()
+		startCycles = s.cycle
+		startRobOcc, startLsqOcc, startFlushes = s.robOccSum, s.lsqOccSum, s.flushes
+	}
+
 	fetchDone := false // stop fetching: budget reached or program halted
 	var sinceCommit uint64
 
@@ -190,6 +217,8 @@ func (s *Sim) RunWindow(m *emu.Machine, lead, maxInsts, tail uint64) (Result, er
 			break
 		}
 		s.cycle++
+		s.robOccSum += uint64(s.robCount)
+		s.lsqOccSum += uint64(s.lsqCount)
 
 		// Commit stage.
 		commits := 0
@@ -284,6 +313,18 @@ func (s *Sim) RunWindow(m *emu.Machine, lead, maxInsts, tail uint64) (Result, er
 		Accesses:   res.IL1.Accesses + res.DL1.Accesses,
 		Misses:     res.IL1.Misses + res.DL1.Misses,
 		Writebacks: res.IL1.Writebacks + res.DL1.Writebacks,
+	}
+	if s.Metrics != nil {
+		windowInsts := s.committed - startInsts
+		if secs := time.Since(t0).Seconds(); secs > 0 && windowInsts > 0 {
+			s.Metrics.Gauge("cpu.kips").Set(float64(windowInsts) / secs / 1e3)
+		}
+		if cycles := s.cycle - startCycles; cycles > 0 {
+			s.Metrics.Gauge("cpu.rob_occupancy").Set(float64(s.robOccSum-startRobOcc) / float64(cycles))
+			s.Metrics.Gauge("cpu.lsq_occupancy").Set(float64(s.lsqOccSum-startLsqOcc) / float64(cycles))
+		}
+		s.Metrics.Counter("cpu.flushes").Add(int64(s.flushes - startFlushes))
+		s.Metrics.Counter("cpu.window_insts").Add(int64(windowInsts))
 	}
 	return res, nil
 }
@@ -615,6 +656,7 @@ func (s *Sim) fetchRun(m *emu.Machine, maxInsts, startInsts uint64) (bool, error
 			if !correct {
 				e.mispredict = true
 				s.fetchBlockSeq = e.seq
+				s.flushes++
 				stopFetch = true
 			} else if info.Taken {
 				// One taken branch per fetch cycle.

@@ -9,8 +9,10 @@ package emu
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"mlpa/internal/isa"
+	"mlpa/internal/obs"
 	"mlpa/internal/prog"
 )
 
@@ -50,6 +52,11 @@ type Machine struct {
 
 	// Branch, if non-nil, is invoked for every taken control transfer.
 	Branch BranchHook
+
+	// Metrics, if non-nil, receives functional-execution rate metrics
+	// from Run (gauge emu.mips, counter emu.run_insts). It adds one
+	// branch per Run call, not per instruction.
+	Metrics *obs.Registry
 
 	mem      []uint64 // word-addressed data memory, power-of-two length
 	memMask  int64
@@ -291,14 +298,25 @@ func (m *Machine) Step() (StepInfo, error) {
 // is 0) and returns the number executed. It is the fast path used for
 // functional fast-forwarding and profiling.
 func (m *Machine) Run(maxInsts uint64) (uint64, error) {
+	var t0 time.Time
+	if m.Metrics != nil {
+		t0 = time.Now()
+	}
 	var done uint64
+	var err error
 	for !m.Halted && (maxInsts == 0 || done < maxInsts) {
-		if _, err := m.Step(); err != nil {
-			return done, err
+		if _, err = m.Step(); err != nil {
+			break
 		}
 		done++
 	}
-	return done, nil
+	if m.Metrics != nil && done > 0 {
+		if secs := time.Since(t0).Seconds(); secs > 0 {
+			m.Metrics.Gauge("emu.mips").Set(float64(done) / secs / 1e6)
+		}
+		m.Metrics.Counter("emu.run_insts").Add(int64(done))
+	}
+	return done, err
 }
 
 // RunToCompletion executes until the program halts, with a safety

@@ -10,12 +10,14 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"mlpa/internal/bench"
 	"mlpa/internal/coasts"
 	"mlpa/internal/cpu"
 	"mlpa/internal/linalg"
 	"mlpa/internal/multilevel"
+	"mlpa/internal/obs"
 	"mlpa/internal/pipeline"
 	"mlpa/internal/sampling"
 	"mlpa/internal/simpoint"
@@ -72,6 +74,10 @@ type Options struct {
 	FineBICFraction float64
 	// CoarseKmax is COASTS's Kmax (default 3, the paper default).
 	CoarseKmax int
+	// Obs, if non-nil, threads the observability runtime through every
+	// stage: selection spans, per-point journal records, deviation
+	// events and progress logging.
+	Obs *obs.Runtime
 }
 
 func (o Options) withDefaults() Options {
@@ -109,11 +115,12 @@ func (o Options) fineConfig() simpoint.Config {
 		Seed:        o.Seed,
 		SampleCap:   o.SampleCap,
 		BICFraction: o.FineBICFraction,
+		Obs:         o.Obs,
 	}
 }
 
 func (o Options) coarseConfig() coasts.Config {
-	return coasts.Config{Kmax: o.CoarseKmax, Seed: o.Seed}
+	return coasts.Config{Kmax: o.CoarseKmax, Seed: o.Seed, Obs: o.Obs}
 }
 
 func (o Options) specs() ([]*bench.Spec, error) {
@@ -168,10 +175,14 @@ func NewStudy(o Options) (*Study, error) {
 		return nil, err
 	}
 	st := &Study{Opts: o, Plans: make([]*Plans, len(specs))}
+	span := o.Obs.StartSpan("experiments.select", obs.KV("benchmarks", len(specs)))
+	defer span.End()
 	// Selection is independent and deterministic per benchmark; run it
 	// across the suite in parallel.
 	err = forEachIndex(len(specs), func(i int) error {
 		spec := specs[i]
+		bspan := span.StartSpan("experiments.select_benchmark", obs.KV("benchmark", spec.Name))
+		defer bspan.End()
 		p, err := spec.Program(o.Size)
 		if err != nil {
 			return err
@@ -192,6 +203,8 @@ func NewStudy(o Options) (*Study, error) {
 			return fmt.Errorf("experiments: multilevel on %s: %w", spec.Name, err)
 		}
 		st.Plans[i] = &Plans{Spec: spec, SimPoint: sp, Coasts: co, MultiLevel: ml}
+		o.Obs.Logf("selected points for %s: simpoint %d, coasts %d, multilevel %d",
+			spec.Name, len(sp.Points), len(co.Points), len(ml.Points))
 		return nil
 	})
 	if err != nil {
@@ -371,16 +384,24 @@ func (st *Study) Table2(configs []cpu.Config) (*Table2Result, error) {
 	// benchmarks in parallel, then aggregate in suite order so worst
 	// cases and averages stay deterministic.
 	type devs struct{ cpi, l1, l2 [3]float64 }
+	span := st.Opts.Obs.StartSpan("experiments.table2", obs.KV("configs", len(configs)))
+	defer span.End()
 	for _, cfg := range configs {
 		results := make([]devs, len(st.Plans))
 		cfg := cfg
+		cspan := span.StartSpan("experiments.table2_config", obs.KV("config", cfg.Name))
 		err := forEachIndex(len(st.Plans), func(i int) error {
 			pl := st.Plans[i]
+			bspan := cspan.StartSpan("experiments.table2_benchmark",
+				obs.KV("benchmark", pl.Spec.Name), obs.KV("config", cfg.Name))
+			defer bspan.End()
 			p, err := pl.Spec.Program(st.Opts.Size)
 			if err != nil {
 				return err
 			}
-			truth, _, err := pipeline.FullDetailed(p, cfg)
+			tspan := bspan.StartSpan("experiments.ground_truth")
+			truth, truthWall, err := pipeline.FullDetailed(p, cfg)
+			tspan.End()
 			if err != nil {
 				return err
 			}
@@ -393,14 +414,29 @@ func (st *Study) Table2(configs []cpu.Config) (*Table2Result, error) {
 					Warmup:       st.Opts.Warmup,
 					DetailLeadIn: st.Opts.DetailLeadIn,
 					RunAhead:     st.Opts.RunAhead,
+					Obs:          st.Opts.Obs,
 				})
 				if err != nil {
 					return fmt.Errorf("experiments: %s/%s under config %s: %w", pl.Spec.Name, method, cfg.Name, err)
 				}
-				results[i].cpi[mi], results[i].l1[mi], results[i].l2[mi] = pipeline.Deviations(est, truth)
+				cpiDev, l1Dev, l2Dev := pipeline.Deviations(est, truth)
+				results[i].cpi[mi], results[i].l1[mi], results[i].l2[mi] = cpiDev, l1Dev, l2Dev
+				st.Opts.Obs.Emit("deviation", map[string]any{
+					"benchmark": pl.Spec.Name,
+					"method":    method,
+					"config":    cfg.Name,
+					"cpi_dev":   cpiDev,
+					"l1_dev":    l1Dev,
+					"l2_dev":    l2Dev,
+					"true_cpi":  truth.CPI(),
+					"est_cpi":   est.CPI,
+				})
+				st.Opts.Obs.Logf("table2 %s/%s config %s: CPI dev %.4f%% (est %.4f true %.4f, truth wall %v)",
+					pl.Spec.Name, method, cfg.Name, 100*cpiDev, est.CPI, truth.CPI(), truthWall.Round(time.Millisecond))
 			}
 			return nil
 		})
+		cspan.End()
 		if err != nil {
 			return nil, err
 		}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"mlpa/internal/linalg"
+	"mlpa/internal/obs"
 )
 
 // Options controls clustering.
@@ -33,6 +34,12 @@ type Options struct {
 	// nearest sample centroid — the technique SimPoint uses to bound
 	// clustering cost on long traces. 0 clusters all points.
 	SampleCap int
+
+	// Metrics, if non-nil, receives clustering telemetry: histogram
+	// kmeans.iterations (Lloyd iterations per restart), counter
+	// kmeans.restarts, histogram kmeans.chosen_k (Best only) and
+	// counter kmeans.unconverged (restarts that hit MaxIters).
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -56,6 +63,12 @@ type Result struct {
 	Sizes     []int       // points per cluster
 	Inertia   float64     // total within-cluster squared distance
 	BIC       float64
+
+	// Iters is the number of Lloyd iterations the winning restart ran;
+	// Converged reports whether it reached a fixed point before
+	// MaxIters (convergence telemetry for the observability layer).
+	Iters     int
+	Converged bool
 }
 
 // Cluster runs k-means for a fixed k.
@@ -95,12 +108,19 @@ func Cluster(points [][]float64, k int, opts Options) (*Result, error) {
 	for r := 0; r < opts.Restarts; r++ {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(r)*7919))
 		res := lloyd(clusterSet, k, rng, opts.MaxIters)
+		opts.Metrics.Counter("kmeans.restarts").Inc()
+		opts.Metrics.Histogram("kmeans.iterations").Observe(float64(res.Iters))
+		if !res.Converged {
+			opts.Metrics.Counter("kmeans.unconverged").Inc()
+		}
 		if best == nil || res.Inertia < best.Inertia {
 			best = res
 		}
 	}
 	if sampleStride > 0 {
+		iters, converged := best.Iters, best.Converged
 		best = assignAll(points, best)
+		best.Iters, best.Converged = iters, converged
 	}
 	best.BIC = bic(points, best)
 	return best, nil
@@ -139,7 +159,10 @@ func lloyd(points [][]float64, k int, rng *rand.Rand, maxIters int) *Result {
 	}
 	sizes := make([]int, k)
 
+	iters := 0
+	converged := false
 	for iter := 0; iter < maxIters; iter++ {
+		iters = iter + 1
 		changed := false
 		for i, p := range points {
 			bi, bd := 0, math.Inf(1)
@@ -154,6 +177,7 @@ func lloyd(points [][]float64, k int, rng *rand.Rand, maxIters int) *Result {
 			}
 		}
 		if !changed && iter > 0 {
+			converged = true
 			break
 		}
 		// Recompute centroids.
@@ -197,7 +221,8 @@ func lloyd(points [][]float64, k int, rng *rand.Rand, maxIters int) *Result {
 		sizes[assign[i]]++
 		inertia += linalg.Dist2(p, cents[assign[i]])
 	}
-	return &Result{K: k, Assign: assign, Centroids: cents, Sizes: sizes, Inertia: inertia}
+	return &Result{K: k, Assign: assign, Centroids: cents, Sizes: sizes, Inertia: inertia,
+		Iters: iters, Converged: converged}
 }
 
 // seedPlusPlus picks k initial centroids by k-means++ sampling.
@@ -286,12 +311,15 @@ func Best(points [][]float64, kmax int, opts Options) (*Result, error) {
 		maxBIC = math.Max(maxBIC, r.BIC)
 	}
 	threshold := minBIC + opts.BICFraction*(maxBIC-minBIC)
+	chosen := results[len(results)-1]
 	for _, r := range results {
 		if r.BIC >= threshold {
-			return r, nil
+			chosen = r
+			break
 		}
 	}
-	return results[len(results)-1], nil
+	opts.Metrics.Histogram("kmeans.chosen_k").Observe(float64(chosen.K))
+	return chosen, nil
 }
 
 // NearestToCentroid returns, for each cluster, the index of the point

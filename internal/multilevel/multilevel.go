@@ -15,6 +15,7 @@ import (
 
 	"mlpa/internal/bbv"
 	"mlpa/internal/coasts"
+	"mlpa/internal/obs"
 	"mlpa/internal/phase"
 	"mlpa/internal/prog"
 	"mlpa/internal/sampling"
@@ -34,6 +35,11 @@ type Config struct {
 	// applies. Zero defaults to Fine.IntervalLen x Fine.Kmax, the
 	// paper's rule.
 	Threshold uint64
+
+	// Obs, if non-nil, receives stage spans and journal records; it
+	// propagates to the coarse and fine sub-configurations unless they
+	// carry their own.
+	Obs *obs.Runtime
 }
 
 func (c Config) withDefaults() Config {
@@ -46,6 +52,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Threshold == 0 {
 		c.Threshold = c.Fine.IntervalLen * uint64(c.Fine.Kmax)
+	}
+	if c.Obs != nil {
+		if c.Coarse.Obs == nil {
+			c.Coarse.Obs = c.Obs
+		}
+		if c.Fine.Obs == nil {
+			c.Fine.Obs = c.Obs
+		}
 	}
 	return c
 }
@@ -98,6 +112,11 @@ func Resample(p *prog.Program, coarsePlan *sampling.Plan, cfg Config) (*sampling
 	if cfg.Fine.IntervalLen == 0 {
 		return nil, nil, fmt.Errorf("multilevel: Fine.IntervalLen = 0")
 	}
+	span := cfg.Obs.StartSpan("multilevel.resample",
+		obs.KV("benchmark", coarsePlan.Benchmark),
+		obs.KV("coarse_points", len(coarsePlan.Points)),
+		obs.KV("threshold", cfg.Threshold))
+	defer span.End()
 	report := &Report{
 		CoarsePlan: coarsePlan,
 		Resampled:  make([]*sampling.Plan, len(coarsePlan.Points)),
@@ -152,5 +171,20 @@ func Resample(p *prog.Program, coarsePlan *sampling.Plan, cfg Config) (*sampling
 	if err := out.Validate(); err != nil {
 		return nil, nil, err
 	}
+	resampled := 0
+	for _, sub := range report.Resampled {
+		if sub != nil {
+			resampled++
+		}
+	}
+	span.SetAttr("resampled", resampled)
+	span.SetAttr("points", len(out.Points))
+	cfg.Obs.Emit("selection", map[string]any{
+		"benchmark": out.Benchmark,
+		"method":    MethodName,
+		"points":    len(out.Points),
+		"resampled": resampled,
+		"detailed":  out.DetailedFraction(),
+	})
 	return out, report, nil
 }

@@ -1,0 +1,113 @@
+// Package obs is the run-level observability layer of the sampling
+// simulation framework: a metrics registry (counters, gauges,
+// histograms), span-based stage tracing, a JSONL event journal, and a
+// run manifest. Every piece is nil-safe — instrumented code holds an
+// optional *Runtime and calls it unconditionally; when observability
+// is disabled the calls collapse to cheap no-ops — so the simulator
+// hot paths carry no configuration branches of their own.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Runtime bundles the observability facilities of one run: a metrics
+// registry, a tracer, the journal sink they share, and an optional
+// progress logger. A nil *Runtime disables everything.
+type Runtime struct {
+	metrics *Registry
+	tracer  *Tracer
+	sink    Sink
+
+	logMu sync.Mutex
+	logw  io.Writer
+}
+
+// New creates a runtime journaling to sink. A nil sink is allowed:
+// metrics are still collected and Logf still works, but spans and
+// journal records go nowhere.
+func New(sink Sink) *Runtime {
+	return &Runtime{
+		metrics: NewRegistry(),
+		tracer:  NewTracer(sink),
+		sink:    sink,
+	}
+}
+
+// Metrics returns the run's registry, or nil on a nil runtime (a nil
+// *Registry still hands out working detached instruments).
+func (r *Runtime) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.metrics
+}
+
+// StartSpan opens a root span on the run's tracer. Nil-safe.
+func (r *Runtime) StartSpan(name string, attrs ...Attr) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.StartSpan(name, attrs...)
+}
+
+// Emit appends one journal record of type ev with the given fields.
+// The "ev" key is set by this method. Nil-safe.
+func (r *Runtime) Emit(ev string, fields map[string]any) {
+	if r == nil || r.sink == nil {
+		return
+	}
+	rec := make(Record, len(fields)+1)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["ev"] = ev
+	r.sink.Emit(rec)
+}
+
+// EmitMetrics appends the current metrics snapshot to the journal as
+// a {"ev":"metrics"} record. Nil-safe.
+func (r *Runtime) EmitMetrics() {
+	if r == nil || r.sink == nil {
+		return
+	}
+	s := r.metrics.Snapshot()
+	rec := Record{"ev": "metrics"}
+	if len(s.Counters) > 0 {
+		rec["counters"] = s.Counters
+	}
+	if len(s.Gauges) > 0 {
+		rec["gauges"] = s.Gauges
+	}
+	if len(s.Histograms) > 0 {
+		rec["histograms"] = s.Histograms
+	}
+	r.sink.Emit(rec)
+}
+
+// SetLogger directs Logf progress output to w (typically stderr under
+// a -v flag). Nil-safe.
+func (r *Runtime) SetLogger(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.logMu.Lock()
+	r.logw = w
+	r.logMu.Unlock()
+}
+
+// Logf writes one progress line when a logger is configured. Nil-safe
+// and safe for concurrent use.
+func (r *Runtime) Logf(format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	if r.logw == nil {
+		return
+	}
+	fmt.Fprintf(r.logw, format+"\n", args...)
+}

@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	tests := []struct {
+		name string
+		do   func()
+		want func() bool
+	}{
+		{
+			name: "counter accumulates",
+			do:   func() { r.Counter("c").Add(3); r.Counter("c").Inc() },
+			want: func() bool { return r.Counter("c").Value() == 4 },
+		},
+		{
+			name: "gauge last value wins",
+			do:   func() { r.Gauge("g").Set(1.5); r.Gauge("g").Set(-2.25) },
+			want: func() bool { return r.Gauge("g").Value() == -2.25 },
+		},
+		{
+			name: "histogram summary",
+			do: func() {
+				h := r.Histogram("h")
+				for _, v := range []float64{2, -1, 5} {
+					h.Observe(v)
+				}
+			},
+			want: func() bool {
+				s := r.Histogram("h").Stat()
+				return s.Count == 3 && s.Sum == 6 && s.Min == -1 && s.Max == 5 && s.Mean == 2
+			},
+		},
+		{
+			name: "same name returns same instrument",
+			do:   func() { r.Counter("shared").Inc(); r.Counter("shared").Inc() },
+			want: func() bool { return r.Counter("shared").Value() == 2 },
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.do()
+			if !tc.want() {
+				t.Errorf("%s: unexpected state", tc.name)
+			}
+		})
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Add(2)
+	reg.Gauge("y").Set(1)
+	reg.Histogram("z").Observe(3)
+	if s := reg.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+
+	var rt *Runtime
+	rt.Logf("ignored %d", 1)
+	rt.Emit("point", map[string]any{"a": 1})
+	rt.EmitMetrics()
+	rt.EmitManifest(Manifest{Tool: "test"})
+	sp := rt.StartSpan("root")
+	sp.SetAttr("k", "v")
+	child := sp.StartSpan("child")
+	child.End()
+	sp.End()
+	if rt.Metrics() != nil {
+		t.Error("nil runtime returned non-nil registry")
+	}
+
+	var tr *Tracer
+	tr.StartSpan("x").End()
+}
+
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Insertion order differs between the two builds; the JSON
+		// encoding must not.
+		names := []string{"z.last", "a.first", "m.mid"}
+		for i, n := range names {
+			r.Counter(n).Add(int64(i + 1))
+			r.Gauge(n).Set(float64(i) * 1.5)
+			r.Histogram(n).Observe(float64(i))
+		}
+		return r
+	}
+	build2 := func() *Registry {
+		r := NewRegistry()
+		names := []string{"m.mid", "z.last", "a.first"}
+		vals := map[string]int64{"z.last": 1, "a.first": 2, "m.mid": 3}
+		gvals := map[string]float64{"z.last": 0, "a.first": 1.5, "m.mid": 3}
+		hvals := map[string]float64{"z.last": 0, "a.first": 1, "m.mid": 2}
+		for _, n := range names {
+			r.Counter(n).Add(vals[n])
+			r.Gauge(n).Set(gvals[n])
+			r.Histogram(n).Observe(hvals[n])
+		}
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build2().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Errorf("snapshot JSON depends on insertion order:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(float64(i))
+				r.Histogram("h").Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Stat().Count; got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestSpanNestingAndJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewTracer(sink)
+	// Fixed clock: every span lasts exactly 5ms.
+	now := time.Unix(100, 0)
+	tr.now = func() time.Time {
+		now = now.Add(5 * time.Millisecond)
+		return now
+	}
+
+	root := tr.StartSpan("select", KV("benchmark", "gzip"))
+	child := root.StartSpan("cluster")
+	child.SetAttr("k", 3)
+	grand := child.StartSpan("lloyd")
+	grand.End()
+	child.End()
+	root.SetAttr("points", 4)
+	root.End()
+	root.End() // double End must not re-emit
+
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3 (double End re-emitted?)", len(recs))
+	}
+	// Emission order is End order: lloyd, cluster, select.
+	names := []string{"lloyd", "cluster", "select"}
+	for i, rec := range recs {
+		if rec["ev"] != "span" {
+			t.Errorf("record %d ev = %v, want span", i, rec["ev"])
+		}
+		if rec["name"] != names[i] {
+			t.Errorf("record %d name = %v, want %s", i, rec["name"], names[i])
+		}
+		if rec["dur_ns"].(float64) <= 0 {
+			t.Errorf("record %d has non-positive duration", i)
+		}
+	}
+	byName := map[string]Record{}
+	for _, rec := range recs {
+		byName[rec["name"].(string)] = rec
+	}
+	if byName["cluster"]["parent"] != byName["select"]["id"] {
+		t.Errorf("cluster parent %v != select id %v", byName["cluster"]["parent"], byName["select"]["id"])
+	}
+	if byName["lloyd"]["parent"] != byName["cluster"]["id"] {
+		t.Errorf("lloyd parent %v != cluster id %v", byName["lloyd"]["parent"], byName["cluster"]["id"])
+	}
+	if byName["select"]["parent"].(float64) != 0 {
+		t.Errorf("root parent = %v, want 0", byName["select"]["parent"])
+	}
+	attrs := byName["select"]["attrs"].(map[string]any)
+	if attrs["benchmark"] != "gzip" || attrs["points"].(float64) != 4 {
+		t.Errorf("root attrs = %v", attrs)
+	}
+	if byName["cluster"]["attrs"].(map[string]any)["k"].(float64) != 3 {
+		t.Errorf("cluster attrs = %v", byName["cluster"]["attrs"])
+	}
+}
+
+func TestRuntimeEmitAndManifest(t *testing.T) {
+	var sink MemorySink
+	rt := New(&sink)
+	rt.EmitManifest(Manifest{
+		Tool:      "mlpa",
+		Command:   "table2",
+		Benchmark: "gzip",
+		Seed:      7,
+		Configs:   []string{"A"},
+	})
+	rt.Emit("point", map[string]any{"index": 0, "cpi": 1.25})
+	rt.Metrics().Counter("pipeline.points").Inc()
+	rt.EmitMetrics()
+
+	recs := sink.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0]["ev"] != "manifest" || recs[0]["schema"] != ManifestSchema {
+		t.Errorf("manifest record = %v", recs[0])
+	}
+	if recs[1]["ev"] != "point" || recs[1]["cpi"] != 1.25 {
+		t.Errorf("point record = %v", recs[1])
+	}
+	counters, ok := recs[2]["counters"].(map[string]int64)
+	if !ok || counters["pipeline.points"] != 1 {
+		t.Errorf("metrics record = %v", recs[2])
+	}
+}
+
+func TestJSONLRoundTripPreservesFloats(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	want := 0.1 + 0.2 // not exactly representable as a decimal literal
+	sink.Emit(Record{"ev": "point", "cpi": want})
+	recs, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recs[0]["cpi"].(float64); got != want {
+		t.Errorf("float round-trip changed value: %v != %v", got, want)
+	}
+}
+
+func TestReadJournalErrors(t *testing.T) {
+	_, err := ReadJournal(strings.NewReader("{\"ev\":\"a\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("malformed line error = %v", err)
+	}
+	recs, err := ReadJournal(strings.NewReader("\n{\"ev\":\"a\"}\n\n"))
+	if err != nil || len(recs) != 1 {
+		t.Errorf("blank-line handling: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestConfigHashStable(t *testing.T) {
+	type cfg struct {
+		A int
+		B string
+	}
+	h1 := ConfigHash(cfg{1, "x"})
+	h2 := ConfigHash(cfg{1, "x"})
+	h3 := ConfigHash(cfg{2, "x"})
+	if h1 != h2 {
+		t.Errorf("identical configs hash differently: %s vs %s", h1, h2)
+	}
+	if h1 == h3 {
+		t.Errorf("different configs collide: %s", h1)
+	}
+	if len(h1) != 16 {
+		t.Errorf("hash length = %d, want 16", len(h1))
+	}
+}
+
+func TestHistogramTimer(t *testing.T) {
+	var h Histogram
+	done := h.Time()
+	time.Sleep(time.Millisecond)
+	done()
+	s := h.Stat()
+	if s.Count != 1 || s.Sum <= 0 {
+		t.Errorf("timer stat = %+v", s)
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["a"] != 2 {
+		t.Errorf("snapshot decode = %+v", s)
+	}
+}

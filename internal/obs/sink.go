@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Record is one journal entry: a flat JSON object whose "ev" field
+// names the record type ("manifest", "span", "point", "estimate",
+// "metrics", ...). Using a map keeps the journal schema open — every
+// producer can attach whatever fields its stage knows — while
+// encoding/json's sorted map keys keep the byte stream deterministic
+// for identical inputs.
+type Record = map[string]any
+
+// Sink consumes journal records. Implementations must be safe for
+// concurrent use: spans and per-point records are emitted from the
+// experiment harness's worker goroutines.
+type Sink interface {
+	Emit(rec Record)
+}
+
+// JSONLSink writes one JSON object per line. It serializes concurrent
+// emitters and retains the first write error (Err).
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w in a line-oriented JSON sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit appends one record as a JSON line.
+func (s *JSONLSink) Emit(rec Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(rec)
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MemorySink collects records in order; it backs tests and inspection
+// of freshly produced journals.
+type MemorySink struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// Emit appends one record.
+func (s *MemorySink) Emit(rec Record) {
+	s.mu.Lock()
+	s.recs = append(s.recs, rec)
+	s.mu.Unlock()
+}
+
+// Records returns a copy of the collected records.
+func (s *MemorySink) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.recs...)
+}
+
+// ReadJournal parses a JSONL journal. Blank lines are skipped; a
+// malformed line aborts with its line number.
+func ReadJournal(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading journal: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// KV builds an Attr.
+func KV(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer assigns span identities and emits completed spans to a sink.
+// Span nesting is explicit — a child is started from its parent — so
+// tracing stays correct when sibling spans run on concurrent worker
+// goroutines (no goroutine-local ambient state).
+type Tracer struct {
+	sink Sink
+	ids  atomic.Uint64
+	now  func() time.Time // overridable for deterministic tests
+}
+
+// NewTracer creates a tracer emitting to sink. A nil sink yields a
+// tracer whose spans are all no-ops.
+func NewTracer(sink Sink) *Tracer {
+	return &Tracer{sink: sink, now: time.Now}
+}
+
+// StartSpan opens a root span. Nil-safe: on a nil tracer (or one with
+// a nil sink) it returns a nil span, whose methods all no-op.
+func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
+	if t == nil || t.sink == nil {
+		return nil
+	}
+	return &Span{
+		t:     t,
+		id:    t.ids.Add(1),
+		name:  name,
+		attrs: attrs,
+		start: t.now(),
+	}
+}
+
+// Span is one timed region of a run. Completed spans are emitted as
+// journal records of the form
+//
+//	{"ev":"span","name":...,"id":N,"parent":P,"dur_ns":D,"attrs":{...}}
+//
+// with parent 0 for root spans.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// StartSpan opens a child span. Nil-safe.
+func (s *Span) StartSpan(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.t.StartSpan(name, attrs...)
+	c.parent = s.id
+	return c
+}
+
+// SetAttr attaches or overrides an annotation. Nil-safe.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span and emits its record. Subsequent Ends are
+// ignored. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	rec := Record{
+		"ev":     "span",
+		"name":   s.name,
+		"id":     s.id,
+		"parent": s.parent,
+		"dur_ns": s.t.now().Sub(s.start).Nanoseconds(),
+	}
+	if len(attrs) > 0 {
+		m := make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			m[a.Key] = a.Value
+		}
+		rec["attrs"] = m
+	}
+	s.t.sink.Emit(rec)
+}

@@ -12,6 +12,7 @@ import (
 
 	"mlpa/internal/cpu"
 	"mlpa/internal/emu"
+	"mlpa/internal/obs"
 	"mlpa/internal/prog"
 	"mlpa/internal/sampling"
 	"mlpa/internal/stats"
@@ -49,6 +50,47 @@ type ExecOptions struct {
 	// the point's own cycle count. Without it, short scaled points
 	// containing miss bursts absorb a full drain latency apiece.
 	RunAhead uint64
+
+	// Obs, when non-nil, receives per-point journal records, stage
+	// spans and pipeline metrics for the run. A nil Obs costs nothing.
+	Obs *obs.Runtime
+}
+
+// PointRecord is the observable outcome of one executed simulation
+// point. ExecutePlan retains one record per point on the Estimate and
+// journals it through ExecOptions.Obs, so per-point behaviour — which
+// the weighted sums would otherwise discard — stays inspectable. The
+// raw hit/access counts are kept alongside the derived rates so the
+// whole-program aggregates can be reproduced from the records alone.
+type PointRecord struct {
+	Index  int     `json:"index"`
+	Start  uint64  `json:"start"`
+	End    uint64  `json:"end"`
+	Weight float64 `json:"weight"`
+
+	// Measured-region metrics.
+	Insts  uint64  `json:"insts"`
+	Cycles uint64  `json:"cycles"`
+	CPI    float64 `json:"cpi"`
+	L1Hit  float64 `json:"l1_hit"`
+	L2Hit  float64 `json:"l2_hit"`
+
+	// Raw cache counts for exact re-aggregation.
+	L1Accesses uint64 `json:"l1_accesses"`
+	L1Hits     uint64 `json:"l1_hits"`
+	L2Accesses uint64 `json:"l2_accesses"`
+	L2Hits     uint64 `json:"l2_hits"`
+
+	// Warmup split: how the gap before the point (and the discarded
+	// detailed regions around it) was spent, in instructions.
+	FastForward uint64 `json:"ff"`
+	Warmed      uint64 `json:"warmed"`
+	Lead        uint64 `json:"lead"`
+	Tail        uint64 `json:"tail"`
+
+	// Wall-clock split attributable to this point.
+	WallFunctional time.Duration `json:"wall_functional_ns"`
+	WallDetailed   time.Duration `json:"wall_detailed_ns"`
 }
 
 // Estimate is the outcome of executing one sampling plan.
@@ -70,6 +112,9 @@ type Estimate struct {
 	// Measured wall-clock split of this reproduction's own simulators.
 	WallDetailed   time.Duration
 	WallFunctional time.Duration
+
+	// PointRecords holds one record per executed point, in plan order.
+	PointRecords []PointRecord
 }
 
 // DetailedFraction returns DetailedInsts / TotalInsts.
@@ -115,7 +160,15 @@ func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts Exec
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
+	span := opts.Obs.StartSpan("pipeline.execute_plan",
+		obs.KV("benchmark", plan.Benchmark),
+		obs.KV("method", plan.Method),
+		obs.KV("config", cfg.Name),
+		obs.KV("points", len(plan.Points)))
+	defer span.End()
+	reg := opts.Obs.Metrics()
 	m := emu.New(p, 0)
+	m.Metrics = reg
 	est := &Estimate{
 		Benchmark:       plan.Benchmark,
 		Method:          plan.Method,
@@ -135,13 +188,15 @@ func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts Exec
 		if err != nil {
 			return nil, err
 		}
+		carried.Metrics = reg
 	}
 	// seen counts the instructions the (carried) detailed context has
 	// observed, via warming or detailed execution.
 	var seen uint64
 	for pi, pt := range plan.Points {
 		if pt.Start < m.Insts {
-			return nil, fmt.Errorf("pipeline: plan %s/%s points overlap or are unsorted", plan.Benchmark, plan.Method)
+			return nil, fmt.Errorf("pipeline: plan %s/%s: point %d [%d,%d) overlaps the previous point or is unsorted (machine already at instruction %d)",
+				plan.Benchmark, plan.Method, pi, pt.Start, pt.End, m.Insts)
 		}
 		sim := carried
 		if sim == nil {
@@ -150,6 +205,7 @@ func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts Exec
 			if err != nil {
 				return nil, err
 			}
+			sim.Metrics = reg
 		}
 		// The gap before the point splits into plain fast-forward,
 		// functional warming, and a detailed lead-in region whose
@@ -188,7 +244,8 @@ func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts Exec
 				return nil, err
 			}
 		}
-		est.WallFunctional += time.Since(t0)
+		wallFunc := time.Since(t0)
+		est.WallFunctional += wallFunc
 
 		// Run-ahead is bounded by the distance to the next point (or
 		// program end), so the machine never advances into a region
@@ -204,12 +261,15 @@ func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts Exec
 
 		t0 = time.Now()
 		res, err := sim.RunWindow(m, lead, pt.Len(), tail)
-		est.WallDetailed += time.Since(t0)
+		wallDet := time.Since(t0)
+		est.WallDetailed += wallDet
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: detailed point at %d in %s: %w", pt.Start, plan.Benchmark, err)
+			return nil, fmt.Errorf("pipeline: detailed point %d [%d,%d) in %s/%s: %w",
+				pi, pt.Start, pt.End, plan.Benchmark, plan.Method, err)
 		}
 		if res.Insts != pt.Len() {
-			return nil, fmt.Errorf("pipeline: point at %d simulated %d instructions, want %d", pt.Start, res.Insts, pt.Len())
+			return nil, fmt.Errorf("pipeline: point %d [%d,%d) in %s/%s simulated %d instructions, want %d",
+				pi, pt.Start, pt.End, plan.Benchmark, plan.Method, res.Insts, pt.Len())
 		}
 		seen += lead + pt.Len() + tail
 		est.CPI += pt.Weight * res.CPI()
@@ -222,10 +282,87 @@ func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts Exec
 		l1Num += pt.Weight * float64(res.L1.Hits()) * perInst
 		l2Den += pt.Weight * float64(res.L2.Accesses) * perInst
 		l2Num += pt.Weight * float64(res.L2.Hits()) * perInst
+
+		rec := PointRecord{
+			Index:          pi,
+			Start:          pt.Start,
+			End:            pt.End,
+			Weight:         pt.Weight,
+			Insts:          res.Insts,
+			Cycles:         res.Cycles,
+			CPI:            res.CPI(),
+			L1Hit:          res.L1.HitRate(),
+			L2Hit:          res.L2.HitRate(),
+			L1Accesses:     res.L1.Accesses,
+			L1Hits:         res.L1.Hits(),
+			L2Accesses:     res.L2.Accesses,
+			L2Hits:         res.L2.Hits(),
+			FastForward:    ff - warm - lead,
+			Warmed:         warm,
+			Lead:           lead,
+			Tail:           tail,
+			WallFunctional: wallFunc,
+			WallDetailed:   wallDet,
+		}
+		est.PointRecords = append(est.PointRecords, rec)
+		journalPoint(opts.Obs, plan, cfg.Name, rec)
 	}
+	reg.Counter("pipeline.points_executed").Add(int64(len(plan.Points)))
+	reg.Counter("pipeline.detailed_insts").Add(int64(est.DetailedInsts))
+	reg.Counter("pipeline.functional_insts").Add(int64(est.FunctionalInsts))
 	est.L1Hit = ratioOr1(l1Num, l1Den)
 	est.L2Hit = ratioOr1(l2Num, l2Den)
+	opts.Obs.Emit("estimate", map[string]any{
+		"benchmark":          est.Benchmark,
+		"method":             est.Method,
+		"config":             cfg.Name,
+		"cpi":                est.CPI,
+		"l1_hit":             est.L1Hit,
+		"l2_hit":             est.L2Hit,
+		"points":             est.Points,
+		"detailed_insts":     est.DetailedInsts,
+		"functional_insts":   est.FunctionalInsts,
+		"total_insts":        est.TotalInsts,
+		"wall_detailed_ns":   est.WallDetailed.Nanoseconds(),
+		"wall_functional_ns": est.WallFunctional.Nanoseconds(),
+	})
 	return est, nil
+}
+
+// journalPoint emits one per-point journal record. The record carries
+// enough raw counts that the plan's whole-program aggregates can be
+// recomputed exactly from the journal alone (see docs/OBSERVABILITY.md
+// for the schema).
+func journalPoint(rt *obs.Runtime, plan *sampling.Plan, cfgName string, rec PointRecord) {
+	if rt == nil {
+		return
+	}
+	rt.Metrics().Histogram("pipeline.point_wall_seconds").
+		Observe((rec.WallFunctional + rec.WallDetailed).Seconds())
+	rt.Emit("point", map[string]any{
+		"benchmark":          plan.Benchmark,
+		"method":             plan.Method,
+		"config":             cfgName,
+		"index":              rec.Index,
+		"start":              rec.Start,
+		"end":                rec.End,
+		"weight":             rec.Weight,
+		"insts":              rec.Insts,
+		"cycles":             rec.Cycles,
+		"cpi":                rec.CPI,
+		"l1_hit":             rec.L1Hit,
+		"l2_hit":             rec.L2Hit,
+		"l1_accesses":        rec.L1Accesses,
+		"l1_hits":            rec.L1Hits,
+		"l2_accesses":        rec.L2Accesses,
+		"l2_hits":            rec.L2Hits,
+		"ff":                 rec.FastForward,
+		"warmed":             rec.Warmed,
+		"lead":               rec.Lead,
+		"tail":               rec.Tail,
+		"wall_functional_ns": rec.WallFunctional.Nanoseconds(),
+		"wall_detailed_ns":   rec.WallDetailed.Nanoseconds(),
+	})
 }
 
 func ratioOr1(num, den float64) float64 {
@@ -271,11 +408,20 @@ func MeasuredRates(p *prog.Program, cfg cpu.Config, probeInsts uint64) (sampling
 	}
 	ddur := time.Since(t0)
 	if fdur <= 0 || ddur <= 0 || nf == 0 || res.Insts == 0 {
-		return sampling.TimeModel{}, fmt.Errorf("pipeline: degenerate rate probe")
+		return sampling.TimeModel{}, degenerateProbeErr(p.Name, probeInsts, nf, fdur, res.Insts, ddur)
 	}
 	return sampling.TimeModel{
 		Name:           "measured",
 		DetailedRate:   float64(res.Insts) / ddur.Seconds(),
 		FunctionalRate: float64(nf) / fdur.Seconds(),
 	}, nil
+}
+
+// degenerateProbeErr reports a rate probe whose functional or detailed
+// leg measured no work or no time, including everything that was
+// measured so the caller can size the next probe.
+func degenerateProbeErr(bench string, probeInsts, nf uint64, fdur time.Duration, nd uint64, ddur time.Duration) error {
+	return fmt.Errorf(
+		"pipeline: degenerate rate probe on %s (probeInsts %d): functional %d insts in %v, detailed %d insts in %v; raise probeInsts until both runs measure nonzero work and time",
+		bench, probeInsts, nf, fdur, nd, ddur)
 }

@@ -1,11 +1,17 @@
 package pipeline
 
 import (
+	"bytes"
+	"math"
+	"strings"
 	"testing"
+	"time"
 
 	"mlpa/internal/coasts"
 	"mlpa/internal/config"
+	"mlpa/internal/emu"
 	"mlpa/internal/isa"
+	"mlpa/internal/obs"
 	"mlpa/internal/prog"
 	"mlpa/internal/sampling"
 	"mlpa/internal/simpoint"
@@ -220,6 +226,184 @@ func TestConfigBPresent(t *testing.T) {
 	for _, cfg := range config.All() {
 		if _, err := ExecutePlan(p, plan, cfg, ExecOptions{}); err != nil {
 			t.Errorf("config %s: %v", cfg.Name, err)
+		}
+	}
+}
+
+// TestJournalRecordsReproduceEstimate is the observability acceptance
+// test: the per-point records — both the in-memory copies on the
+// Estimate and their JSONL journal round-trip — must reproduce the
+// reported whole-program aggregates exactly (same summation order,
+// CPI within 1e-12), and the wall/point bookkeeping must add up.
+func TestJournalRecordsReproduceEstimate(t *testing.T) {
+	p := phasedProgram(t, 30)
+	plan, _, _, err := simpoint.Select(p, simpoint.Config{IntervalLen: 2000, Kmax: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	rt := obs.New(sink)
+	est, err := ExecutePlan(p, plan, config.BaseA(), ExecOptions{Warmup: 3000, Obs: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(est.PointRecords) != est.Points || est.Points != len(plan.Points) {
+		t.Fatalf("point records = %d, estimate points = %d, plan points = %d",
+			len(est.PointRecords), est.Points, len(plan.Points))
+	}
+
+	check := func(src string, recs []PointRecord) {
+		t.Helper()
+		var cpi float64
+		var l1Num, l1Den, l2Num, l2Den float64
+		var wallF, wallD time.Duration
+		for _, r := range recs {
+			cpi += r.Weight * r.CPI
+			perInst := 1 / float64(r.Insts)
+			l1Den += r.Weight * float64(r.L1Accesses) * perInst
+			l1Num += r.Weight * float64(r.L1Hits) * perInst
+			l2Den += r.Weight * float64(r.L2Accesses) * perInst
+			l2Num += r.Weight * float64(r.L2Hits) * perInst
+			wallF += r.WallFunctional
+			wallD += r.WallDetailed
+		}
+		if math.Abs(cpi-est.CPI) > 1e-12 {
+			t.Errorf("%s: CPI from records %v != estimate %v", src, cpi, est.CPI)
+		}
+		l1 := l1Num / l1Den
+		l2 := l2Num / l2Den
+		if l1Den == 0 {
+			l1 = 1
+		}
+		if l2Den == 0 {
+			l2 = 1
+		}
+		if math.Abs(l1-est.L1Hit) > 1e-12 || math.Abs(l2-est.L2Hit) > 1e-12 {
+			t.Errorf("%s: hit rates from records %v/%v != estimate %v/%v", src, l1, l2, est.L1Hit, est.L2Hit)
+		}
+		if wallF != est.WallFunctional || wallD != est.WallDetailed {
+			t.Errorf("%s: wall split from records %v/%v != estimate %v/%v",
+				src, wallF, wallD, est.WallFunctional, est.WallDetailed)
+		}
+	}
+	check("in-memory", est.PointRecords)
+
+	// JSONL round-trip: decode the journal's point events back into
+	// records and re-check. JSON float64 encoding is exact, so the
+	// journal is as authoritative as the in-memory copy.
+	recs, err := obs.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromJournal []PointRecord
+	var sawEstimate, sawSpan bool
+	for _, rec := range recs {
+		switch rec["ev"] {
+		case "span":
+			sawSpan = true
+		case "estimate":
+			sawEstimate = true
+			if rec["cpi"].(float64) != est.CPI {
+				t.Errorf("journal estimate CPI %v != %v", rec["cpi"], est.CPI)
+			}
+		case "point":
+			if rec["benchmark"] != plan.Benchmark || rec["method"] != plan.Method {
+				t.Errorf("point record mislabeled: %v", rec)
+			}
+			fromJournal = append(fromJournal, PointRecord{
+				Index:          int(rec["index"].(float64)),
+				Weight:         rec["weight"].(float64),
+				Insts:          uint64(rec["insts"].(float64)),
+				CPI:            rec["cpi"].(float64),
+				L1Accesses:     uint64(rec["l1_accesses"].(float64)),
+				L1Hits:         uint64(rec["l1_hits"].(float64)),
+				L2Accesses:     uint64(rec["l2_accesses"].(float64)),
+				L2Hits:         uint64(rec["l2_hits"].(float64)),
+				WallFunctional: time.Duration(rec["wall_functional_ns"].(float64)),
+				WallDetailed:   time.Duration(rec["wall_detailed_ns"].(float64)),
+			})
+		}
+	}
+	if !sawEstimate {
+		t.Error("journal missing estimate record")
+	}
+	if !sawSpan {
+		t.Error("journal missing pipeline span")
+	}
+	check("journal", fromJournal)
+
+	// Metrics side: the registry's counters must agree with the run.
+	reg := rt.Metrics()
+	if got := reg.Counter("pipeline.points_executed").Value(); got != int64(est.Points) {
+		t.Errorf("points_executed counter = %d, want %d", got, est.Points)
+	}
+	if got := reg.Counter("pipeline.detailed_insts").Value(); got != int64(est.DetailedInsts) {
+		t.Errorf("detailed_insts counter = %d, want %d", got, est.DetailedInsts)
+	}
+	if reg.Counter("cpu.flushes").Value() < 0 || reg.Histogram("pipeline.point_wall_seconds").Stat().Count != int64(est.Points) {
+		t.Errorf("point wall histogram count = %d, want %d",
+			reg.Histogram("pipeline.point_wall_seconds").Stat().Count, est.Points)
+	}
+}
+
+// TestPlanErrorsNamePoint pins the diagnostic content of plan
+// execution errors: the failing point's index and its [start,end)
+// offsets must appear, so a bad plan is debuggable from the message
+// alone.
+func TestPlanErrorsNamePoint(t *testing.T) {
+	p := phasedProgram(t, 5)
+
+	// Overlapping points: rejected up front, naming point 1's offsets.
+	overlap := &sampling.Plan{
+		Benchmark:  "pipephase",
+		Method:     "handmade",
+		TotalInsts: 1 << 30,
+		Points: []sampling.Point{
+			{Start: 500, End: 600, Weight: 0.5},
+			{Start: 550, End: 700, Weight: 0.5},
+		},
+	}
+	_, err := ExecutePlan(p, overlap, config.BaseA(), ExecOptions{})
+	if err == nil || !strings.Contains(err.Error(), "point 1") || !strings.Contains(err.Error(), "550") {
+		t.Errorf("overlap error %q does not name the point and offset", err)
+	}
+
+	// A point past the program's actual halt: the plan validates (the
+	// declared TotalInsts is inflated) but the detailed window comes up
+	// short, and the error must identify which point and range.
+	m := emu.New(p, 0)
+	total, err := m.RunToCompletion(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := &sampling.Plan{
+		Benchmark:  "pipephase",
+		Method:     "handmade",
+		TotalInsts: total + 10_000,
+		Points: []sampling.Point{
+			{Start: total - 100, End: total + 500, Weight: 1},
+		},
+	}
+	_, err = ExecutePlan(p, short, config.BaseA(), ExecOptions{})
+	if err == nil {
+		t.Fatal("plan past program end unexpectedly succeeded")
+	}
+	for _, want := range []string{"point 0", "simulated", "want 600"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("short-simulation error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestMeasuredRatesDegenerateError(t *testing.T) {
+	err := degenerateProbeErr("toybench", 4096, 17, 3*time.Microsecond, 0, 5*time.Microsecond)
+	for _, want := range []string{"toybench", "4096", "functional 17 insts in 3µs", "detailed 0 insts in 5µs"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("degenerate-probe error %q missing %q", err, want)
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"mlpa/internal/bbv"
 	"mlpa/internal/kmeans"
 	"mlpa/internal/linalg"
+	"mlpa/internal/obs"
 	"mlpa/internal/phase"
 	"mlpa/internal/prog"
 	"mlpa/internal/sampling"
@@ -52,6 +53,10 @@ type Config struct {
 	// examines directly (0 = all); long traces are stride-sampled and
 	// the rest assigned to the nearest centroid, as SimPoint does.
 	SampleCap int
+
+	// Obs, if non-nil, receives stage spans, clustering metrics and a
+	// per-selection journal record.
+	Obs *obs.Runtime
 }
 
 func (c Config) withDefaults() Config {
@@ -82,11 +87,18 @@ func Profile(p *prog.Program, cfg Config) (*phase.Trace, error) {
 	if cfg.IntervalLen == 0 {
 		return nil, fmt.Errorf("simpoint: IntervalLen = 0")
 	}
+	span := cfg.Obs.StartSpan("simpoint.profile",
+		obs.KV("benchmark", p.Name), obs.KV("interval_len", cfg.IntervalLen))
+	defer span.End()
 	proj, err := bbv.NewProjector(p.NumBlocks(), cfg.Dims, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return phase.CollectFixed(p, proj, cfg.IntervalLen)
+	tr, err := phase.CollectFixed(p, proj, cfg.IntervalLen)
+	if err == nil {
+		span.SetAttr("intervals", len(tr.Intervals))
+	}
+	return tr, err
 }
 
 // SelectFromTrace clusters an existing fixed-length trace and returns
@@ -96,14 +108,20 @@ func SelectFromTrace(tr *phase.Trace, cfg Config) (*sampling.Plan, *kmeans.Resul
 	if len(tr.Intervals) == 0 {
 		return nil, nil, fmt.Errorf("simpoint: empty trace for %s", tr.Benchmark)
 	}
+	span := cfg.Obs.StartSpan("simpoint.cluster",
+		obs.KV("benchmark", tr.Benchmark), obs.KV("intervals", len(tr.Intervals)))
+	defer span.End()
 	km, err := kmeans.Best(tr.Vectors(), cfg.Kmax, kmeans.Options{
 		Seed:        cfg.Seed,
 		BICFraction: cfg.BICFraction,
 		SampleCap:   cfg.SampleCap,
+		Metrics:     cfg.Obs.Metrics(),
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	span.SetAttr("k", km.K)
+	span.SetAttr("cluster_sizes", append([]int(nil), km.Sizes...))
 
 	var reps []int
 	if cfg.EarlySP {
@@ -148,6 +166,13 @@ func SelectFromTrace(tr *phase.Trace, cfg Config) (*sampling.Plan, *kmeans.Resul
 	if err := plan.Validate(); err != nil {
 		return nil, nil, err
 	}
+	cfg.Obs.Emit("selection", map[string]any{
+		"benchmark": plan.Benchmark,
+		"method":    method,
+		"k":         km.K,
+		"points":    len(plan.Points),
+		"detailed":  plan.DetailedFraction(),
+	})
 	return plan, km, nil
 }
 
