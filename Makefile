@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race bench clean
+.PHONY: check vet lint build test race bench clean
 
-## check: the full gate — vet, build, and the race-enabled test suite.
-check: vet build race
+## check: the full gate — vet, lint, build, and the race-enabled test suite.
+check: vet lint build race
 
 vet:
 	$(GO) vet ./...
+
+## lint: repo-specific hygiene rules (see cmd/mlpalint).
+lint:
+	$(GO) run ./cmd/mlpalint
 
 build:
 	$(GO) build ./...

@@ -20,6 +20,7 @@ import (
 	"mlpa/internal/linalg"
 	"mlpa/internal/obs"
 	"mlpa/internal/phase"
+	"mlpa/internal/staticanalysis"
 	"mlpa/internal/trace"
 )
 
@@ -115,6 +116,11 @@ func obtainTrace(benchName, in, size, granularity string, dims int, seed int64, 
 	p, err := spec.Program(sz)
 	if err != nil {
 		return nil, err
+	}
+	// The coarse path preflights inside CollectBoundaries; the fine path
+	// drives the emulator directly, so verify here before profiling.
+	if err := staticanalysis.Preflight(p); err != nil {
+		return nil, fmt.Errorf("preflight for %s: %w", p.Name, err)
 	}
 	proj, err := bbv.NewProjector(p.NumBlocks(), dims, seed)
 	if err != nil {

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mlpa/internal/bench"
+	"mlpa/internal/emu"
+	"mlpa/internal/prog"
+	"mlpa/internal/staticanalysis"
+)
+
+// runAnalyze implements `mlpa analyze`: print the verifier report, CFG,
+// dominator tree, and natural-loop forest for a suite benchmark
+// (-bench) or an assembly file given as a positional argument. With
+// -dynamic it also runs the loop profiler and cross-checks every
+// dynamically-observed structure against the static forest, which is
+// the same comparison COASTS journals during boundary collection.
+func runAnalyze(f *flags) error {
+	p, err := analyzeTarget(f)
+	if err != nil {
+		return err
+	}
+	a := staticanalysis.Analyze(p)
+
+	fmt.Printf("program %s: %d instructions\n\n", p.Name, len(p.Code))
+	fmt.Print(a.Summary())
+	fmt.Printf("\nCFG:\n%s", a.CFG)
+	fmt.Printf("\nDominator tree:\n%s", a.Dom)
+	fmt.Printf("\nLoop forest:\n%s", a.Loops)
+
+	if !a.Report.OK() {
+		// Still render everything above, but make the failure the exit
+		// status so scripts can gate on it.
+		return fmt.Errorf("verification failed: %d diagnostic(s)", len(a.Report.Diags))
+	}
+	if f.dynamic {
+		return analyzeDynamic(p, a)
+	}
+	return nil
+}
+
+// analyzeTarget resolves the program to analyze: a positional .s file
+// takes precedence over the -bench suite benchmark.
+func analyzeTarget(f *flags) (*prog.Program, error) {
+	if len(f.args) > 0 {
+		path := f.args[0]
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		return prog.Assemble(name, string(src))
+	}
+	spec, err := bench.ByName(f.benchmark)
+	if err != nil {
+		return nil, err
+	}
+	size, err := f.suiteSize()
+	if err != nil {
+		return nil, err
+	}
+	return spec.Program(size)
+}
+
+// analyzeDynamic runs the dynamic loop profiler to completion and
+// prints the static/dynamic agreement table.
+func analyzeDynamic(p *prog.Program, a *staticanalysis.Analysis) error {
+	m := emu.New(p, 0)
+	lp := emu.NewLoopProfiler(m)
+	m.Branch = lp.OnBranch
+	if _, err := m.RunToCompletion(1 << 40); err != nil {
+		return fmt.Errorf("dynamic profile: %w", err)
+	}
+	lp.Finish()
+	all := lp.Structures()
+	heads := make([]int64, len(all))
+	depths := make([]int, len(all))
+	for i, s := range all {
+		heads[i] = s.Head
+		depths[i] = s.Depth
+	}
+	fmt.Printf("\nDynamic cross-check (%d structures over %d instructions):\n", len(all), m.Insts)
+	disagreements := 0
+	for i, ag := range a.Loops.CheckDynamic(heads, depths) {
+		verdict := "ok"
+		if !ag.InStatic {
+			verdict = "NOT A STATIC LOOP"
+			disagreements++
+		} else if ag.DynamicDepth > ag.StaticDepth {
+			verdict = "DEEPER THAN STATIC"
+			disagreements++
+		}
+		fmt.Printf("  head=%-6d iters=%-8d dynDepth=%d staticDepth=%d  %s\n",
+			ag.Head, all[i].Iterations, ag.DynamicDepth, ag.StaticDepth, verdict)
+	}
+	if disagreements > 0 {
+		return fmt.Errorf("dynamic profile disagrees with static forest on %d structure(s)", disagreements)
+	}
+	fmt.Println("  static and dynamic loop structure agree")
+	return nil
+}

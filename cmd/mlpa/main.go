@@ -11,6 +11,7 @@
 //	mlpa checkpoint [-bench -method -dir] checkpointed-point simulation flow
 //	mlpa bench [-config A,B -dir d]  machine-readable BENCH_<date>.json harness
 //	mlpa inspect <run.jsonl>        render a recorded run journal
+//	mlpa analyze [-bench name | file.s] static analysis: verifier, CFG, dominators, loops
 //	mlpa all                        figures and tables above
 //
 // Shared flags: -size tiny|small|ref, -seed N, -benchmarks a,b,c,
@@ -58,6 +59,7 @@ type flags struct {
 	rates      string
 	method     string
 	dir        string
+	dynamic    bool
 
 	// Observability surface.
 	journal    string
@@ -85,6 +87,7 @@ func parseFlags(cmd string, args []string) (*flags, error) {
 	fs.StringVar(&f.rates, "rates", "simplescalar", "time model: simplescalar or measured")
 	fs.StringVar(&f.method, "method", "multilevel", "sampling method for checkpoint: coasts, simpoint or multilevel")
 	fs.StringVar(&f.dir, "dir", "", "directory to persist checkpoint files (checkpoint command)")
+	fs.BoolVar(&f.dynamic, "dynamic", false, "analyze: also profile dynamically and cross-check against the static forest")
 	fs.StringVar(&f.journal, "journal", "", "write a JSONL run journal to this file (see `mlpa inspect`)")
 	fs.StringVar(&f.metrics, "metrics", "", "write a JSON metrics-registry snapshot to this file on exit")
 	fs.BoolVar(&f.verbose, "v", false, "log stage progress to stderr")
@@ -158,7 +161,7 @@ func (f *flags) cpuConfigs() ([]cpu.Config, error) {
 
 func run(args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mlpa <fig1|fig3|fig4|table2|table3|points|motivation|ablation|checkpoint|bench|inspect|all> [flags]")
+		return fmt.Errorf("usage: mlpa <fig1|fig3|fig4|table2|table3|points|motivation|ablation|checkpoint|bench|inspect|analyze|all> [flags]")
 	}
 	cmd := args[0]
 	f, err := parseFlags(cmd, args[1:])
@@ -204,6 +207,8 @@ func run(args []string) (err error) {
 		return runCheckpoint(f)
 	case "bench":
 		return runBench(f)
+	case "analyze":
+		return runAnalyze(f)
 	case "all":
 		if err := runFig1(f); err != nil {
 			return err

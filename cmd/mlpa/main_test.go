@@ -209,3 +209,48 @@ func TestRunProfilingFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunAnalyze drives the static-analysis subcommand against a suite
+// benchmark, an assembled source file, and a malformed program.
+func TestRunAnalyze(t *testing.T) {
+	if err := run([]string{"analyze", "-size", "tiny", "-bench", "gzip", "-dynamic"}); err != nil {
+		t.Fatalf("analyze gzip: %v", err)
+	}
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.s")
+	src := `
+    addi r1, r0, 5
+loop:
+    addi r2, r2, 1
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+`
+	if err := os.WriteFile(good, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"analyze", good}); err != nil {
+		t.Fatalf("analyze %s: %v", good, err)
+	}
+	// A program whose verification fails must make the command fail.
+	bad := filepath.Join(dir, "bad.s")
+	badSrc := `
+    addi r1, r0, 5
+    jmp  skip
+    addi r9, r9, 1
+skip:
+    halt
+`
+	if err := os.WriteFile(bad, []byte(badSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"analyze", bad}); err == nil {
+		t.Error("analyze accepted a program with an unreachable block")
+	}
+	if err := run([]string{"analyze", "-bench", "bogus"}); err == nil {
+		t.Error("analyze accepted an unknown benchmark")
+	}
+	if err := run([]string{"analyze", filepath.Join(dir, "missing.s")}); err == nil {
+		t.Error("analyze accepted a missing file")
+	}
+}

@@ -1,0 +1,225 @@
+// Command mlpalint enforces repo-specific hygiene rules on the Go
+// sources (not the guest programs — those are checked by
+// internal/staticanalysis):
+//
+//   - time-now: no time.Now in deterministic simulation packages
+//     (internal/emu, internal/cpu, internal/kmeans); wall-clock reads
+//     there would make simulated results time-dependent.
+//   - unseeded-rand: no package-level math/rand calls in the same
+//     packages; randomness must flow through an explicitly seeded
+//     *rand.Rand so runs stay reproducible.
+//   - panic: no panic in library packages (under internal/) outside
+//     tests; functions named Must* are exempt by convention.
+//
+// A site that is legitimately exceptional carries a
+// `//mlpalint:allow <rule>` comment on the same line or the line
+// above. Findings are printed as path:line: rule: message and make the
+// command exit nonzero.
+//
+//	mlpalint [dir]
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := lint(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlpalint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s:%d: %s: %s\n", f.File, f.Line, f.Rule, f.Msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mlpalint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// deterministicPkgs are the packages whose results must be a pure
+// function of their inputs and seeds.
+var deterministicPkgs = map[string]bool{
+	"internal/emu":    true,
+	"internal/cpu":    true,
+	"internal/kmeans": true,
+}
+
+// unseededRandFuncs are the math/rand package-level functions that
+// draw from the implicitly-seeded global source.
+var unseededRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+}
+
+// Finding is one rule violation.
+type Finding struct {
+	File string // path relative to the lint root
+	Line int
+	Rule string
+	Msg  string
+}
+
+// lint walks root and applies every rule to the non-test Go sources,
+// returning findings sorted by file and line.
+func lint(root string) ([]Finding, error) {
+	var findings []Finding
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		fs, err := lintFile(path, rel)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, fs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		return findings[i].Line < findings[j].Line
+	})
+	return findings, nil
+}
+
+// lintFile parses one source file and applies the rules that its
+// package location activates.
+func lintFile(path, rel string) ([]Finding, error) {
+	dir := filepath.ToSlash(filepath.Dir(rel))
+	deterministic := deterministicPkgs[dir]
+	library := dir == "internal" || strings.HasPrefix(dir, "internal/")
+	if !deterministic && !library {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	allowed := allowDirectives(fset, file)
+	randName := importName(file, "math/rand")
+
+	var findings []Finding
+	report := func(pos token.Pos, rule, msg string) {
+		line := fset.Position(pos).Line
+		if allowed[rule][line] {
+			return
+		}
+		findings = append(findings, Finding{File: rel, Line: line, Rule: rule, Msg: msg})
+	}
+
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if ok && fn.Body == nil {
+			continue
+		}
+		mustFunc := ok && strings.HasPrefix(fn.Name.Name, "Must")
+		ast.Inspect(decl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if library && fun.Name == "panic" && !mustFunc {
+					report(call.Pos(), "panic",
+						"panic in a library package; return an error (Must* wrappers are exempt)")
+				}
+			case *ast.SelectorExpr:
+				pkg, ok := fun.X.(*ast.Ident)
+				if !ok || pkg.Obj != nil { // shadowed by a local identifier
+					return true
+				}
+				if deterministic && pkg.Name == "time" && fun.Sel.Name == "Now" {
+					report(call.Pos(), "time-now",
+						"wall-clock read in a deterministic simulation package")
+				}
+				if deterministic && pkg.Name == randName && unseededRandFuncs[fun.Sel.Name] {
+					report(call.Pos(), "unseeded-rand",
+						fmt.Sprintf("global rand.%s in a deterministic package; use a seeded *rand.Rand", fun.Sel.Name))
+				}
+			}
+			return true
+		})
+	}
+	return findings, nil
+}
+
+// allowDirectives collects `//mlpalint:allow <rule>` comments; each
+// suppresses its rule on the comment's own line and the next line.
+func allowDirectives(fset *token.FileSet, file *ast.File) map[string]map[int]bool {
+	allowed := map[string]map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "mlpalint:allow ")
+			if !ok {
+				continue
+			}
+			// The first word is the rule; anything after is a free-form
+			// reason for the reader.
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			rule := fields[0]
+			if allowed[rule] == nil {
+				allowed[rule] = map[int]bool{}
+			}
+			line := fset.Position(c.Pos()).Line
+			allowed[rule][line] = true
+			allowed[rule][line+1] = true
+		}
+	}
+	return allowed
+}
+
+// importName returns the local name of an imported package path, or ""
+// when the file does not import it.
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return path[strings.LastIndex(path, "/")+1:]
+	}
+	return ""
+}

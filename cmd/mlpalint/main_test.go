@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree materializes a fake repo under a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func keys(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = fmt.Sprintf("%s:%d:%s", filepath.ToSlash(f.File), f.Line, f.Rule)
+	}
+	return out
+}
+
+func TestLintFlagsDeterminismViolations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/emu/a.go": `package emu
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() int64 {
+	t := time.Now()
+	return t.Unix() + int64(rand.Intn(10))
+}
+
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+`,
+		// The same constructs outside a deterministic package pass.
+		"cmd/tool/c.go": `package main
+
+import "time"
+
+func main() { _ = time.Now() }
+`,
+	})
+	fs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"internal/emu/a.go:9:time-now",
+		"internal/emu/a.go:10:unseeded-rand",
+	}
+	got := keys(fs)
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLintPanicRule(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/foo/f.go": `package foo
+
+func Bad() {
+	panic("boom")
+}
+
+// MustGood is exempt by the Must* convention.
+func MustGood() {
+	panic("fine")
+}
+`,
+		// Test files are never linted.
+		"internal/foo/f_test.go": `package foo
+
+func helper() { panic("test-only") }
+`,
+		// panic outside internal/ (a command) passes.
+		"cmd/tool/main.go": `package main
+
+func main() { panic("cli") }
+`,
+	})
+	fs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := keys(fs)
+	if len(got) != 1 || got[0] != "internal/foo/f.go:4:panic" {
+		t.Errorf("findings = %v, want exactly internal/foo/f.go:4:panic", got)
+	}
+}
+
+func TestLintAllowDirective(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/emu/a.go": `package emu
+
+import "time"
+
+func sameLine() int64 {
+	return time.Now().Unix() //mlpalint:allow time-now (metrics only)
+}
+
+func lineAbove() int64 {
+	//mlpalint:allow time-now
+	return time.Now().Unix()
+}
+
+func wrongRule() int64 {
+	return time.Now().Unix() //mlpalint:allow panic
+}
+`,
+	})
+	fs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := keys(fs)
+	if len(got) != 1 || got[0] != "internal/emu/a.go:15:time-now" {
+		t.Errorf("findings = %v, want only the wrong-rule site at line 15", got)
+	}
+}
+
+// TestLintRepoClean: the repository itself must pass its own linter —
+// this is the same gate `make check` runs.
+func TestLintRepoClean(t *testing.T) {
+	fs, err := lint("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("repo has lint findings: %v", keys(fs))
+	}
+}

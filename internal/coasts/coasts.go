@@ -20,6 +20,7 @@ import (
 	"mlpa/internal/phase"
 	"mlpa/internal/prog"
 	"mlpa/internal/sampling"
+	"mlpa/internal/staticanalysis"
 )
 
 // Config parameterizes COASTS.
@@ -83,15 +84,30 @@ type Boundary struct {
 	All []*emu.LoopStats
 	// TotalInsts is the profiled execution length.
 	TotalInsts uint64
+
+	// Static cross-validation of the dynamic profile (see
+	// docs/STATIC_ANALYSIS.md). StaticLoops counts the natural loops in
+	// the program's static forest; Agreements holds one record per
+	// significant dynamic structure; StaticAgree reports whether the
+	// selected head is a static loop head at a nesting depth no deeper
+	// than the dynamically observed one (vacuously true with no
+	// selection).
+	StaticLoops int
+	Agreements  []staticanalysis.Agreement
+	StaticAgree bool
 }
 
 // CollectBoundaries runs the boundary-collection pass: a functional
 // execution with the dynamic loop profiler attached, followed by
-// coverage filtering and coarse-structure selection.
+// coverage filtering, coarse-structure selection, and a static
+// cross-check of the dynamic loop structure.
 func CollectBoundaries(p *prog.Program, cfg Config) (*Boundary, error) {
 	cfg = cfg.withDefaults()
 	span := cfg.Obs.StartSpan("coasts.boundaries", obs.KV("benchmark", p.Name))
 	defer span.End()
+	if err := staticanalysis.Preflight(p); err != nil {
+		return nil, fmt.Errorf("coasts: preflight for %s: %w", p.Name, err)
+	}
 	m := emu.New(p, 0)
 	m.Metrics = cfg.Obs.Metrics()
 	lp := emu.NewLoopProfiler(m)
@@ -106,10 +122,54 @@ func CollectBoundaries(p *prog.Program, cfg Config) (*Boundary, error) {
 		b.Head = sel.Head
 		b.Structure = sel
 	}
+	crossValidate(p, b, lp.Structures(), cfg)
 	span.SetAttr("total_insts", b.TotalInsts)
 	span.SetAttr("structures", len(b.All))
 	span.SetAttr("head", b.Head)
+	span.SetAttr("static_agree", b.StaticAgree)
 	return b, nil
+}
+
+// crossValidate compares the dynamic structures against the static
+// natural-loop forest and journals the verdict. A disagreement — a
+// dynamic head the static analysis does not recognize as a loop, or
+// dynamic nesting deeper than the static forest allows — means the
+// boundary pass is slicing intervals on a structure the program's
+// control flow cannot explain, which is worth surfacing long before
+// any deviation shows up in the sampled metrics.
+func crossValidate(p *prog.Program, b *Boundary, all []*emu.LoopStats, cfg Config) {
+	forest := staticanalysis.Analyze(p).Loops
+	b.StaticLoops = len(forest.Loops)
+	heads := make([]int64, len(all))
+	depths := make([]int, len(all))
+	for i, s := range all {
+		heads[i] = s.Head
+		depths[i] = s.Depth
+	}
+	b.Agreements = forest.CheckDynamic(heads, depths)
+	// A dynamic structure can legitimately sit shallower than its
+	// static depth (a 1-trip enclosing loop is invisible dynamically),
+	// so agreement means: known static head, depth not exceeding the
+	// static one.
+	disagreements := 0
+	for _, ag := range b.Agreements {
+		if !ag.InStatic || ag.DynamicDepth > ag.StaticDepth {
+			disagreements++
+		}
+	}
+	b.StaticAgree = true
+	if b.Head >= 0 {
+		l, ok := forest.ByHead(b.Head)
+		b.StaticAgree = ok && b.Structure.Depth <= l.Depth
+	}
+	cfg.Obs.Emit("static_check", map[string]any{
+		"benchmark":     p.Name,
+		"head":          b.Head,
+		"static_loops":  b.StaticLoops,
+		"dynamic_heads": len(heads),
+		"disagreements": disagreements,
+		"agree":         b.StaticAgree,
+	})
 }
 
 // Profile runs the metric-collection pass: one interval per iteration

@@ -1,9 +1,11 @@
 package coasts
 
 import (
+	"strings"
 	"testing"
 
 	"mlpa/internal/isa"
+	"mlpa/internal/obs"
 	"mlpa/internal/prog"
 )
 
@@ -219,5 +221,69 @@ func TestDeterministic(t *testing.T) {
 		if p1.Points[i] != p2.Points[i] {
 			t.Errorf("point %d differs", i)
 		}
+	}
+}
+
+// TestStaticCrossValidation: boundary collection records the
+// static/dynamic loop-structure comparison and journals it.
+func TestStaticCrossValidation(t *testing.T) {
+	sink := &obs.MemorySink{}
+	rt := obs.New(sink)
+	p := abPatternProgram(t, 20)
+	bd, err := CollectBoundaries(p, Config{Obs: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bd.StaticAgree {
+		t.Errorf("selected head %d not confirmed by static analysis", bd.Head)
+	}
+	if bd.StaticLoops < 4 {
+		t.Errorf("static loops = %d, want >= 4 (pro, outer, ka, kbl)", bd.StaticLoops)
+	}
+	var found bool
+	for _, ag := range bd.Agreements {
+		if ag.Head == bd.Head {
+			found = true
+			if !ag.InStatic || ag.DynamicDepth > ag.StaticDepth {
+				t.Errorf("selected-head agreement record bad: %+v", ag)
+			}
+		}
+	}
+	if !found {
+		t.Error("no agreement record for the selected head")
+	}
+	var rec obs.Record
+	for _, r := range sink.Records() {
+		if r["ev"] == "static_check" {
+			rec = r
+		}
+	}
+	if rec == nil {
+		t.Fatal("no static_check journal record emitted")
+	}
+	if rec["agree"] != true {
+		t.Errorf("journal agree = %v, want true (record %v)", rec["agree"], rec)
+	}
+	if rec["disagreements"] != 0 {
+		t.Errorf("journal disagreements = %v, want 0", rec["disagreements"])
+	}
+}
+
+// TestCollectBoundariesPreflight: a malformed guest is rejected before
+// any emulation.
+func TestCollectBoundariesPreflight(t *testing.T) {
+	bad := &prog.Program{
+		Name: "bad",
+		Code: []isa.Inst{
+			{Op: isa.OpAddi, Rd: 1, Rs1: isa.RZero, Imm: 2},
+			{Op: isa.OpBne, Rs1: 1, Rs2: isa.RZero, Targ: 50},
+			{Op: isa.OpHalt},
+		},
+		Labels: map[string]int64{},
+	}
+	if _, err := CollectBoundaries(bad, Config{}); err == nil {
+		t.Fatal("boundary collection accepted a malformed program")
+	} else if !strings.Contains(err.Error(), "bad-target") {
+		t.Errorf("error %q does not carry the verifier diagnostic", err)
 	}
 }

@@ -201,7 +201,7 @@ func (s *Sim) RunWindow(m *emu.Machine, lead, maxInsts, tail uint64) (Result, er
 	var t0 time.Time
 	var startCycles, startRobOcc, startLsqOcc, startFlushes uint64
 	if s.Metrics != nil {
-		t0 = time.Now()
+		t0 = time.Now() //mlpalint:allow time-now (metrics wall clock, not simulated state)
 		startCycles = s.cycle
 		startRobOcc, startLsqOcc, startFlushes = s.robOccSum, s.lsqOccSum, s.flushes
 	}

@@ -21,10 +21,12 @@ import (
 // iteration of each still-active structure (a loop's last trip ends
 // with a not-taken branch, which produces no event).
 //
-// Limitation: structures exited by a forward branch out of the body
-// ("break") are not popped until an enclosing back-edge or Finish; a
-// later re-entry would then count one oversized iteration. The
-// structured loops emitted by the program Builder never do this.
+// Structures exited without a closing back edge (a not-taken branch
+// falling out of the body) are popped at the next backward transfer
+// whose source lies outside their observed [head, latch] extent, or at
+// Finish; until then a later re-entry would count one oversized
+// iteration. The structured loops emitted by the program Builder close
+// every activation with a back edge.
 type LoopProfiler struct {
 	m     *Machine
 	stats map[int64]*LoopStats
@@ -34,6 +36,7 @@ type LoopProfiler struct {
 type stackEntry struct {
 	head     int64
 	lastIter uint64 // Insts at the start of the current iteration
+	latch    int64  // highest back-edge source PC observed this activation
 }
 
 // LoopStats accumulates the dynamic profile of one cyclic structure.
@@ -43,7 +46,7 @@ type LoopStats struct {
 	TotalInsts uint64 // instructions inside observed iterations
 	MinIter    uint64 // shortest iteration length
 	MaxIter    uint64 // longest iteration length
-	Depth      int    // dynamic nesting depth at first discovery (0 = outermost)
+	Depth      int    // maximum observed dynamic nesting depth (0 = outermost)
 	FirstSeen  uint64 // instruction count at first entry
 	LastSeen   uint64 // instruction count at most recent boundary
 }
@@ -107,17 +110,28 @@ func (lp *LoopProfiler) OnBranch(from, to int64) {
 		return // forward transfer: not a loop-back edge
 	}
 	now := lp.m.Insts
-	// Inner loops have heads at higher PCs in linear code layout; a
-	// backward branch to a lower head closes them. Credit their final
-	// iteration as it ends here.
-	for len(lp.stack) > 0 && lp.stack[len(lp.stack)-1].head > to {
-		lp.credit(lp.stack[len(lp.stack)-1], now, true)
+	// Pop stack entries that cannot contain this transfer. Inner loops
+	// have heads at higher PCs in linear code layout, so a backward
+	// branch to a lower head closes them; and a structure whose
+	// observed body [head, latch] ends before the transfer source was
+	// exited earlier by a not-taken branch (which produced no event) —
+	// popping it here keeps a sequentially-following loop from being
+	// misread as nested inside it. Credit final iterations as they end.
+	for len(lp.stack) > 0 {
+		top := lp.stack[len(lp.stack)-1]
+		if top.head == to || (top.head < to && top.latch >= from) {
+			break
+		}
+		lp.credit(top, now, true)
 		lp.stack = lp.stack[:len(lp.stack)-1]
 	}
 	if len(lp.stack) > 0 && lp.stack[len(lp.stack)-1].head == to {
 		top := &lp.stack[len(lp.stack)-1]
 		lp.credit(*top, now, false)
 		top.lastIter = now
+		if from > top.latch {
+			top.latch = from
+		}
 		return
 	}
 	// First observed back-edge of a new activation: the first
@@ -133,8 +147,13 @@ func (lp *LoopProfiler) OnBranch(from, to int64) {
 	if st == nil {
 		st = &LoopStats{Head: to, Depth: len(lp.stack), FirstSeen: start}
 		lp.stats[to] = st
+	} else if len(lp.stack) > st.Depth {
+		// Deeper context than any earlier activation: an inner loop is
+		// often discovered before its parent's first back edge, so the
+		// depth ratchets up as enclosing structures appear.
+		st.Depth = len(lp.stack)
 	}
-	lp.stack = append(lp.stack, stackEntry{head: to, lastIter: now})
+	lp.stack = append(lp.stack, stackEntry{head: to, lastIter: now, latch: from})
 	lp.credit(stackEntry{head: to, lastIter: start}, now, true)
 }
 

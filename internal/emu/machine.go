@@ -300,7 +300,7 @@ func (m *Machine) Step() (StepInfo, error) {
 func (m *Machine) Run(maxInsts uint64) (uint64, error) {
 	var t0 time.Time
 	if m.Metrics != nil {
-		t0 = time.Now()
+		t0 = time.Now() //mlpalint:allow time-now (metrics wall clock, not simulated state)
 	}
 	var done uint64
 	var err error

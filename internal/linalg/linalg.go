@@ -15,6 +15,7 @@ import (
 // length.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
+		//mlpalint:allow panic (length assertion: caller bug, not runtime input)
 		panic(fmt.Sprintf("linalg: Dot length mismatch %d != %d", len(a), len(b)))
 	}
 	var s float64
@@ -30,6 +31,7 @@ func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
 // Dist2 returns the squared Euclidean distance between a and b.
 func Dist2(a, b []float64) float64 {
 	if len(a) != len(b) {
+		//mlpalint:allow panic (length assertion: caller bug, not runtime input)
 		panic(fmt.Sprintf("linalg: Dist2 length mismatch %d != %d", len(a), len(b)))
 	}
 	var s float64
@@ -46,6 +48,7 @@ func Dist(a, b []float64) float64 { return math.Sqrt(Dist2(a, b)) }
 // AXPY computes dst += alpha * x element-wise.
 func AXPY(dst []float64, alpha float64, x []float64) {
 	if len(dst) != len(x) {
+		//mlpalint:allow panic (length assertion: caller bug, not runtime input)
 		panic(fmt.Sprintf("linalg: AXPY length mismatch %d != %d", len(dst), len(x)))
 	}
 	for i := range dst {

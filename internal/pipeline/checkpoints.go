@@ -9,6 +9,7 @@ import (
 	"mlpa/internal/emu"
 	"mlpa/internal/prog"
 	"mlpa/internal/sampling"
+	"mlpa/internal/staticanalysis"
 )
 
 // Checkpoints holds per-point architectural snapshots for a plan, so
@@ -34,6 +35,9 @@ const ckptLeadIn = 512
 func MakeCheckpoints(p *prog.Program, plan *sampling.Plan) (*Checkpoints, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
+	}
+	if err := staticanalysis.Preflight(p); err != nil {
+		return nil, fmt.Errorf("pipeline: preflight for %s: %w", p.Name, err)
 	}
 	m := emu.New(p, 0)
 	ck := &Checkpoints{Plan: plan}

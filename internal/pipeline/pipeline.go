@@ -15,6 +15,7 @@ import (
 	"mlpa/internal/obs"
 	"mlpa/internal/prog"
 	"mlpa/internal/sampling"
+	"mlpa/internal/staticanalysis"
 	"mlpa/internal/stats"
 )
 
@@ -139,6 +140,9 @@ func (e *Estimate) Wall() time.Duration { return e.WallDetailed + e.WallFunction
 // FullDetailed runs the whole program through the detailed simulator
 // (the sim-outorder baseline that defines ground truth).
 func FullDetailed(p *prog.Program, cfg cpu.Config) (cpu.Result, time.Duration, error) {
+	if err := staticanalysis.Preflight(p); err != nil {
+		return cpu.Result{}, 0, fmt.Errorf("pipeline: preflight for %s: %w", p.Name, err)
+	}
 	m := emu.New(p, 0)
 	s, err := cpu.New(cfg)
 	if err != nil {
@@ -159,6 +163,11 @@ func FullDetailed(p *prog.Program, cfg cpu.Config) (cpu.Result, time.Duration, e
 func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts ExecOptions) (*Estimate, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
+	}
+	// Preflight: refuse to spend emulation time on a malformed guest.
+	// Memoized per program, so re-executing plans costs nothing extra.
+	if err := staticanalysis.Preflight(p); err != nil {
+		return nil, fmt.Errorf("pipeline: preflight for %s/%s: %w", plan.Benchmark, plan.Method, err)
 	}
 	span := opts.Obs.StartSpan("pipeline.execute_plan",
 		obs.KV("benchmark", plan.Benchmark),

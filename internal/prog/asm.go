@@ -22,7 +22,7 @@ import (
 func Assemble(name, src string) (*Program, error) {
 	type pending struct {
 		pc    int64
-		label string
+		label string // empty when the source gave an absolute index
 		line  int
 	}
 	var (
@@ -76,18 +76,32 @@ func Assemble(name, src string) (*Program, error) {
 		if err != nil {
 			return nil, fail(lineNum, "%v", err)
 		}
-		if labelRef != "" {
+		// Every control-transfer instruction gets a fixup entry — label
+		// references for resolution, absolute targets for the range
+		// check below — so a bad target is reported with its line.
+		switch {
+		case labelRef != "":
 			fixes = append(fixes, pending{pc: int64(len(code)), label: labelRef, line: lineNum})
+		case op == isa.OpJmp || op == isa.OpJal ||
+			op == isa.OpBeq || op == isa.OpBne || op == isa.OpBlt || op == isa.OpBge:
+			fixes = append(fixes, pending{pc: int64(len(code)), line: lineNum})
 		}
 		code = append(code, in)
 	}
 
 	for _, f := range fixes {
-		target, ok := labels[f.label]
-		if !ok {
-			return nil, fail(f.line, "undefined label %q", f.label)
+		if f.label != "" {
+			target, ok := labels[f.label]
+			if !ok {
+				return nil, fail(f.line, "undefined label %q", f.label)
+			}
+			code[f.pc].Targ = target
 		}
-		code[f.pc].Targ = target
+		// A label on the last line with no instruction after it resolves
+		// to len(code): also past the end.
+		if t := code[f.pc].Targ; t < 0 || t >= int64(len(code)) {
+			return nil, fail(f.line, "branch target %d outside code [0,%d)", t, len(code))
+		}
 	}
 	p := &Program{Name: name, Code: code, Labels: labels}
 	if err := p.Validate(); err != nil {

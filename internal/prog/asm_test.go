@@ -116,6 +116,9 @@ func TestAssembleErrors(t *testing.T) {
 		{"bad immediate", "addi r1, r0, abc\nhalt", "immediate"},
 		{"bad memory operand", "ld r1, r2\nhalt", "memory operand"},
 		{"no halt", "nop", "no halt"},
+		{"absolute target past end", "nop\njmp 50\nhalt", "target 50 outside code [0,3)"},
+		{"negative absolute target", "beq r1, r0, -2\nhalt", "target -2 outside"},
+		{"trailing label target", "jmp end\nnop\nhalt\nend:", "target 3 outside code [0,3)"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -124,6 +127,23 @@ func TestAssembleErrors(t *testing.T) {
 				t.Errorf("err = %v, want containing %q", err, c.want)
 			}
 		})
+	}
+}
+
+// TestAssembleErrorNamesLine: target diagnostics carry the source line
+// of the offending branch, not the end of the listing.
+func TestAssembleErrorNamesLine(t *testing.T) {
+	src := "nop\nnop\njmp 99\nhalt"
+	_, err := Assemble("lines", src)
+	if err == nil {
+		t.Fatal("bad target accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want it to name line 3", err)
+	}
+	_, err = Assemble("lines", "x:\nnop\nx:\nhalt")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("duplicate-label err = %v, want it to name line 3", err)
 	}
 }
 

@@ -1,0 +1,105 @@
+package prog
+
+import "mlpa/internal/isa"
+
+// Examples returns the canonical builder-generated example programs
+// used to cross-validate static control-flow analysis against the
+// dynamic loop profiler: every cyclic structure in them is a
+// structured counted loop, so the static natural-loop forest and the
+// profiler's backward-branch discovery must agree exactly on loop
+// heads and nesting depths.
+func Examples() []*Program {
+	return []*Program{
+		ExampleNested(8, 5),
+		ExampleTripleNested(4, 3, 6),
+		ExampleSequential(7, 9),
+		ExampleVariableTrip(10),
+		ExampleDiamondLoop(12),
+	}
+}
+
+// ExampleNested is a two-level nest: outer (outerTrips) around inner
+// (innerTrips), with straight-line work in both bodies.
+func ExampleNested(outerTrips, innerTrips int64) *Program {
+	b := NewBuilder("ex_nested")
+	b.CountedLoop("outer", 1, outerTrips, func() {
+		b.Addi(3, 3, 1)
+		b.CountedLoop("inner", 2, innerTrips, func() {
+			b.Addi(4, 4, 1)
+		})
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// ExampleTripleNested is a three-level nest.
+func ExampleTripleNested(t0, t1, t2 int64) *Program {
+	b := NewBuilder("ex_triple")
+	b.CountedLoop("l0", 1, t0, func() {
+		b.Addi(5, 5, 1)
+		b.CountedLoop("l1", 2, t1, func() {
+			b.Addi(6, 6, 1)
+			b.CountedLoop("l2", 3, t2, func() {
+				b.Addi(7, 7, 1)
+			})
+		})
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// ExampleSequential runs two independent outermost loops one after the
+// other.
+func ExampleSequential(firstTrips, secondTrips int64) *Program {
+	b := NewBuilder("ex_sequential")
+	b.CountedLoop("first", 1, firstTrips, func() {
+		b.Addi(3, 3, 1)
+	})
+	b.CountedLoop("second", 1, secondTrips, func() {
+		b.Addi(4, 4, 2)
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// ExampleVariableTrip nests an inner loop whose trip count grows with
+// the outer iteration (1, 2, ..., outerTrips), exercising
+// variable-length iteration instances.
+func ExampleVariableTrip(outerTrips int64) *Program {
+	b := NewBuilder("ex_vartrip")
+	b.Li(1, outerTrips) // outer counter, counts down
+	b.Li(5, 1)          // inner trip count, counts up
+	head := b.BeginLoop("outer")
+	b.Add(2, 5, isa.RZero) // inner counter = current trip count
+	inner := b.BeginLoop("inner")
+	b.Addi(4, 4, 1)
+	b.Addi(2, 2, -1)
+	b.Bne(2, isa.RZero, inner)
+	b.EndLoop()
+	b.Addi(5, 5, 1)
+	b.Addi(1, 1, -1)
+	b.Bne(1, isa.RZero, head)
+	b.EndLoop()
+	b.Halt()
+	return b.MustBuild()
+}
+
+// ExampleDiamondLoop is a single counted loop whose body branches into
+// an if/else diamond on the counter's parity.
+func ExampleDiamondLoop(trips int64) *Program {
+	b := NewBuilder("ex_diamond")
+	b.Li(9, 2)
+	b.CountedLoop("main", 1, trips, func() {
+		b.Rem(2, 1, 9) // counter parity
+		els := b.AutoLabel("else")
+		end := b.AutoLabel("endif")
+		b.Beq(2, isa.RZero, els)
+		b.Addi(3, 3, 1)
+		b.Jmp(end)
+		b.Label(els)
+		b.Addi(4, 4, 1)
+		b.Label(end)
+	})
+	b.Halt()
+	return b.MustBuild()
+}

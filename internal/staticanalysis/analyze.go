@@ -1,0 +1,91 @@
+package staticanalysis
+
+import (
+	"fmt"
+	"strings"
+
+	"mlpa/internal/prog"
+)
+
+// Analysis bundles every static view of one program. When the verifier
+// finds structural problems that make control-flow analysis unsafe
+// (bad targets, invalid opcodes), CFG, Dom and Loops are still built —
+// the CFG constructor drops malformed edges — so the analyze CLI can
+// render whatever structure remains alongside the report.
+type Analysis struct {
+	Report *Report
+	CFG    *CFG
+	Dom    *DomTree
+	Loops  *Forest
+}
+
+// Analyze runs the verifier, builds the CFG and dominator tree, and
+// extracts the natural-loop forest of p.
+func Analyze(p *prog.Program) *Analysis {
+	rep := Verify(p)
+	g := BuildCFG(p)
+	dom := Dominators(g)
+	return &Analysis{
+		Report: rep,
+		CFG:    g,
+		Dom:    dom,
+		Loops:  FindLoops(g, dom),
+	}
+}
+
+// Agreement records how one dynamically-discovered cyclic structure
+// compares against the static natural-loop forest. COASTS journals one
+// of these per boundary-collection pass.
+type Agreement struct {
+	// Head is the dynamic structure's head PC.
+	Head int64 `json:"head"`
+	// InStatic reports whether a static natural loop has this head.
+	InStatic bool `json:"in_static"`
+	// StaticDepth is the static nesting depth (-1 when InStatic is
+	// false); DynamicDepth is the profiler's observed depth.
+	StaticDepth  int `json:"static_depth"`
+	DynamicDepth int `json:"dynamic_depth"`
+}
+
+// DepthMatch reports whether the static and dynamic nesting depths
+// agree.
+func (a Agreement) DepthMatch() bool { return a.InStatic && a.StaticDepth == a.DynamicDepth }
+
+// CheckDynamic compares dynamically-observed structure heads (with
+// their observed nesting depths) against the static loop forest.
+func (f *Forest) CheckDynamic(heads []int64, depths []int) []Agreement {
+	out := make([]Agreement, len(heads))
+	for i, h := range heads {
+		a := Agreement{Head: h, StaticDepth: -1, DynamicDepth: depths[i]}
+		if l, ok := f.ByHead(h); ok {
+			a.InStatic = true
+			a.StaticDepth = l.Depth
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// Summary renders a one-screen digest: verifier verdict, block/edge
+// counts, loop count and the outer-loop candidates.
+func (a *Analysis) Summary() string {
+	var sb strings.Builder
+	sb.WriteString(a.Report.String())
+	edges := 0
+	for _, s := range a.CFG.Succs {
+		edges += len(s)
+	}
+	unreachable := 0
+	for _, r := range a.CFG.Reachable {
+		if !r {
+			unreachable++
+		}
+	}
+	fmt.Fprintf(&sb, "cfg: %d blocks, %d edges, %d unreachable; %d natural loops (%d outermost)\n",
+		a.CFG.NumBlocks(), edges, unreachable, len(a.Loops.Loops), len(a.Loops.Roots))
+	for i, l := range a.Loops.OuterCandidates() {
+		fmt.Fprintf(&sb, "outer candidate %d: head=%d bodyInsts=%d blocks=%d\n",
+			i, l.Head, l.BodyInsts, len(l.Blocks))
+	}
+	return sb.String()
+}

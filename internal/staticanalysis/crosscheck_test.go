@@ -1,0 +1,112 @@
+package staticanalysis
+
+import (
+	"testing"
+
+	"mlpa/internal/emu"
+	"mlpa/internal/prog"
+)
+
+// profileHeads runs p to completion under the dynamic loop profiler
+// and returns the discovered structures.
+func profileHeads(t *testing.T, p *prog.Program) []*emu.LoopStats {
+	t.Helper()
+	m := emu.New(p, 0)
+	lp := emu.NewLoopProfiler(m)
+	m.Branch = lp.OnBranch
+	if _, err := m.RunToCompletion(1e8); err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	lp.Finish()
+	return lp.Structures()
+}
+
+// TestStaticDynamicGolden is the golden cross-check from the issue:
+// on every builder-generated example program the static natural-loop
+// forest and the dynamic LoopProfiler must agree exactly — same loop
+// heads, same nesting depths, and no structure only one side sees.
+func TestStaticDynamicGolden(t *testing.T) {
+	for _, p := range prog.Examples() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			a := analyzeClean(t, p)
+			dyn := profileHeads(t, p)
+
+			staticHeads := map[int64]int{}
+			for _, l := range a.Loops.Loops {
+				staticHeads[l.Head] = l.Depth
+			}
+			dynHeads := map[int64]int{}
+			for _, s := range dyn {
+				dynHeads[s.Head] = s.Depth
+			}
+			if len(staticHeads) != len(dynHeads) {
+				t.Fatalf("static found %d loops %v, dynamic found %d %v",
+					len(staticHeads), a.Loops.Heads(), len(dynHeads), dynHeads)
+			}
+			for h, sd := range staticHeads {
+				dd, ok := dynHeads[h]
+				if !ok {
+					t.Errorf("static loop head %d never observed dynamically", h)
+					continue
+				}
+				if sd != dd {
+					t.Errorf("head %d: static depth %d, dynamic depth %d", h, sd, dd)
+				}
+			}
+
+			// The Agreement records COASTS journals must all match too.
+			heads := make([]int64, 0, len(dyn))
+			depths := make([]int, 0, len(dyn))
+			for _, s := range dyn {
+				heads = append(heads, s.Head)
+				depths = append(depths, s.Depth)
+			}
+			for _, ag := range a.Loops.CheckDynamic(heads, depths) {
+				if !ag.DepthMatch() {
+					t.Errorf("agreement record mismatch: %+v", ag)
+				}
+			}
+
+			// Builder ground truth: every recorded static loop appears
+			// in both views.
+			for _, want := range p.Loops {
+				if _, ok := staticHeads[want.Head]; !ok {
+					t.Errorf("builder loop %s at %d missing from static forest", want.Name, want.Head)
+				}
+				if _, ok := dynHeads[want.Head]; !ok {
+					t.Errorf("builder loop %s at %d missing from dynamic profile", want.Name, want.Head)
+				}
+			}
+		})
+	}
+}
+
+// TestStaticCoversDynamicOnExampleMutations varies trip counts to
+// exercise boundary shapes (single outer trip, deep inner trips) and
+// checks the static heads always cover the dynamically observed ones.
+// Dynamic discovery needs at least one taken back edge, so it can only
+// ever see a subset of the static forest — and when an enclosing loop
+// runs a single trip it is invisible dynamically, so the dynamic depth
+// can undershoot the static one but never exceed it.
+func TestStaticCoversDynamicOnExampleMutations(t *testing.T) {
+	progs := []*prog.Program{
+		prog.ExampleNested(1, 7),
+		prog.ExampleNested(30, 1),
+		prog.ExampleVariableTrip(3),
+		prog.ExampleSequential(1, 1),
+	}
+	for _, p := range progs {
+		a := analyzeClean(t, p)
+		for _, s := range profileHeads(t, p) {
+			l, ok := a.Loops.ByHead(s.Head)
+			if !ok {
+				t.Errorf("%s: dynamic head %d not in static forest %v", p.Name, s.Head, a.Loops.Heads())
+				continue
+			}
+			if s.Depth > l.Depth {
+				t.Errorf("%s: head %d dynamic depth %d exceeds static depth %d", p.Name, s.Head, s.Depth, l.Depth)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package staticanalysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DomTree is the dominator tree of a CFG, computed with the
+// Cooper-Harvey-Kennedy iterative algorithm ("A Simple, Fast
+// Dominance Algorithm"). Unreachable blocks have no dominator
+// information (Idom -1).
+type DomTree struct {
+	cfg *CFG
+
+	// Idom[b] is the immediate dominator of block b. The entry block
+	// is its own idom; unreachable blocks hold -1.
+	Idom []int
+
+	// Children[b] lists the blocks immediately dominated by b.
+	Children [][]int
+
+	rpoNum []int // block -> reverse-postorder number; -1 if unreachable
+}
+
+// Dominators computes the dominator tree of g.
+func Dominators(g *CFG) *DomTree {
+	rpo := g.RPO()
+	d := &DomTree{
+		cfg:    g,
+		Idom:   make([]int, g.NumBlocks()),
+		rpoNum: make([]int, g.NumBlocks()),
+	}
+	for i := range d.Idom {
+		d.Idom[i] = -1
+		d.rpoNum[i] = -1
+	}
+	for i, b := range rpo {
+		d.rpoNum[b] = i
+	}
+	d.Idom[g.Entry] = g.Entry
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Preds[b] {
+				if d.Idom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && d.Idom[b] != newIdom {
+				d.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	d.Children = make([][]int, g.NumBlocks())
+	for b, id := range d.Idom {
+		if id >= 0 && b != g.Entry {
+			d.Children[id] = append(d.Children[id], b)
+		}
+	}
+	return d
+}
+
+// intersect walks two dominator-tree paths up to their common ancestor
+// (the "finger" walk of the CHK paper, in RPO numbering).
+func (d *DomTree) intersect(b1, b2 int) int {
+	for b1 != b2 {
+		for d.rpoNum[b1] > d.rpoNum[b2] {
+			b1 = d.Idom[b1]
+		}
+		for d.rpoNum[b2] > d.rpoNum[b1] {
+			b2 = d.Idom[b2]
+		}
+	}
+	return b1
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+func (d *DomTree) Dominates(a, b int) bool {
+	if d.Idom[b] == -1 || d.Idom[a] == -1 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == d.cfg.Entry {
+			return false
+		}
+		b = d.Idom[b]
+	}
+}
+
+// String renders the tree indented by dominance depth.
+func (d *DomTree) String() string {
+	var sb strings.Builder
+	var walk func(b, depth int)
+	walk = func(b, depth int) {
+		blk := d.cfg.Blocks[b]
+		fmt.Fprintf(&sb, "%sB%d [%d,%d)\n", strings.Repeat("  ", depth), b, blk.Start, blk.End)
+		for _, c := range d.Children[b] {
+			walk(c, depth+1)
+		}
+	}
+	walk(d.cfg.Entry, 0)
+	return sb.String()
+}

@@ -1,0 +1,222 @@
+package staticanalysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Loop is one natural loop: the strongly-nested region entered through
+// a single header block that is the target of at least one back edge.
+type Loop struct {
+	// Head is the instruction index of the header block's first
+	// instruction — the same PC the dynamic LoopProfiler reports as a
+	// structure head (backward taken branches land on it).
+	Head int64
+
+	// HeadBlock is the header's basic-block ID.
+	HeadBlock int
+
+	// Blocks lists the body's basic-block IDs (header included),
+	// ascending.
+	Blocks []int
+
+	// Latches lists the blocks whose back edges close the loop.
+	Latches []int
+
+	// BodyInsts is the static instruction count of the body.
+	BodyInsts int64
+
+	// Depth is the nesting depth (0 = outermost); Parent/Children are
+	// indices into Forest.Loops (-1 for roots).
+	Depth    int
+	Parent   int
+	Children []int
+}
+
+// Contains reports whether block id belongs to the loop body.
+func (l *Loop) Contains(id int) bool {
+	i := sort.SearchInts(l.Blocks, id)
+	return i < len(l.Blocks) && l.Blocks[i] == id
+}
+
+// Forest is the natural-loop forest of a program.
+type Forest struct {
+	cfg *CFG
+
+	// Loops holds every natural loop, ordered by ascending header PC.
+	Loops []Loop
+
+	// Roots indexes the outermost loops in Loops.
+	Roots []int
+
+	byHead map[int64]int
+}
+
+// FindLoops discovers the natural-loop forest: back edges are CFG
+// edges u->h where h dominates u; each loop body is the set of blocks
+// that reach a latch without passing through the header. Loops sharing
+// a header are merged (the classic natural-loop construction).
+func FindLoops(g *CFG, dom *DomTree) *Forest {
+	// Collect back edges grouped by header.
+	latchesOf := make(map[int][]int)
+	for u := range g.Blocks {
+		if !g.Reachable[u] {
+			continue
+		}
+		for _, h := range g.Succs[u] {
+			if dom.Dominates(h, u) {
+				latchesOf[h] = append(latchesOf[h], u)
+			}
+		}
+	}
+
+	f := &Forest{cfg: g, byHead: make(map[int64]int)}
+	heads := make([]int, 0, len(latchesOf))
+	for h := range latchesOf {
+		heads = append(heads, h)
+	}
+	sort.Ints(heads)
+
+	for _, h := range heads {
+		body := map[int]bool{h: true}
+		var stack []int
+		for _, u := range latchesOf[h] {
+			if !body[u] {
+				body[u] = true
+				stack = append(stack, u)
+			}
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range g.Preds[b] {
+				if g.Reachable[p] && !body[p] {
+					body[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		blocks := make([]int, 0, len(body))
+		for b := range body {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		var insts int64
+		for _, b := range blocks {
+			insts += g.Blocks[b].Len()
+		}
+		latches := dedupInts(append([]int(nil), latchesOf[h]...))
+		f.Loops = append(f.Loops, Loop{
+			Head:      g.Blocks[h].Start,
+			HeadBlock: h,
+			Blocks:    blocks,
+			Latches:   latches,
+			BodyInsts: insts,
+			Parent:    -1,
+		})
+	}
+
+	// Nesting: the parent of loop l is the smallest loop that strictly
+	// contains l's header and is not l itself. Natural loops with
+	// distinct headers are either disjoint or nested, so "smallest
+	// containing" is well-defined.
+	for i := range f.Loops {
+		best := -1
+		for j := range f.Loops {
+			if i == j || !f.Loops[j].Contains(f.Loops[i].HeadBlock) {
+				continue
+			}
+			if f.Loops[j].HeadBlock == f.Loops[i].HeadBlock {
+				continue
+			}
+			if best == -1 || len(f.Loops[j].Blocks) < len(f.Loops[best].Blocks) {
+				best = j
+			}
+		}
+		f.Loops[i].Parent = best
+	}
+	for i := range f.Loops {
+		if p := f.Loops[i].Parent; p >= 0 {
+			f.Loops[p].Children = append(f.Loops[p].Children, i)
+		} else {
+			f.Roots = append(f.Roots, i)
+		}
+		f.byHead[f.Loops[i].Head] = i
+	}
+	for i := range f.Loops {
+		f.Loops[i].Depth = f.depthOf(i)
+	}
+	return f
+}
+
+func (f *Forest) depthOf(i int) int {
+	d := 0
+	for p := f.Loops[i].Parent; p >= 0; p = f.Loops[p].Parent {
+		d++
+	}
+	return d
+}
+
+// ByHead returns the loop whose header starts at instruction index
+// head, if any.
+func (f *Forest) ByHead(head int64) (Loop, bool) {
+	i, ok := f.byHead[head]
+	if !ok {
+		return Loop{}, false
+	}
+	return f.Loops[i], true
+}
+
+// Heads returns the header PCs of every loop, ascending.
+func (f *Forest) Heads() []int64 {
+	out := make([]int64, len(f.Loops))
+	for i, l := range f.Loops {
+		out[i] = l.Head
+	}
+	return out
+}
+
+// OuterCandidates mirrors the dynamic LoopProfiler.SelectCoarse
+// preference statically: outermost loops ordered by decreasing static
+// body size (the best static prior for "most execution coverage"
+// available without trip counts), ties broken by ascending header PC.
+func (f *Forest) OuterCandidates() []Loop {
+	out := make([]Loop, 0, len(f.Roots))
+	for _, i := range f.Roots {
+		out = append(out, f.Loops[i])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].BodyInsts != out[j].BodyInsts {
+			return out[i].BodyInsts > out[j].BodyInsts
+		}
+		return out[i].Head < out[j].Head
+	})
+	return out
+}
+
+// String renders the forest as an indented tree for the analyze CLI.
+func (f *Forest) String() string {
+	if len(f.Loops) == 0 {
+		return "(no loops)\n"
+	}
+	labels := labelIndex(f.cfg.Prog)
+	var sb strings.Builder
+	var walk func(i int)
+	walk = func(i int) {
+		l := f.Loops[i]
+		name := labels.nearest(l.Head)
+		if name != "" {
+			name = " " + name
+		}
+		fmt.Fprintf(&sb, "%sloop head=%d%s depth=%d blocks=%d bodyInsts=%d latches=%v\n",
+			strings.Repeat("  ", l.Depth), l.Head, name, l.Depth, len(l.Blocks), l.BodyInsts, l.Latches)
+		for _, c := range l.Children {
+			walk(c)
+		}
+	}
+	for _, r := range f.Roots {
+		walk(r)
+	}
+	return sb.String()
+}

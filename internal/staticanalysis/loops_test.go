@@ -1,0 +1,121 @@
+package staticanalysis
+
+import (
+	"testing"
+
+	"mlpa/internal/prog"
+)
+
+func analyzeClean(t *testing.T, p *prog.Program) *Analysis {
+	t.Helper()
+	a := Analyze(p)
+	if !a.Report.OK() {
+		t.Fatalf("%s: verifier findings:\n%s", p.Name, a.Report)
+	}
+	return a
+}
+
+func TestDominatorsStraightLine(t *testing.T) {
+	p, err := prog.Assemble("line", `
+        addi r1, r0, 1
+        beq  r1, r0, done
+        addi r1, r1, 1
+  done: halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analyzeClean(t, p)
+	g, d := a.CFG, a.Dom
+	// Entry dominates everything; the fallthrough block does not
+	// dominate the join (the branch can skip it).
+	for id := range g.Blocks {
+		if !d.Dominates(g.Entry, id) {
+			t.Errorf("entry does not dominate B%d", id)
+		}
+	}
+	join := g.Prog.BlockOf(p.Labels["done"])
+	skip := g.Prog.BlockOf(2)
+	if d.Dominates(skip, join) {
+		t.Errorf("B%d (skippable) should not dominate join B%d", skip, join)
+	}
+	if d.Idom[join] != g.Entry {
+		t.Errorf("idom(join) = B%d, want entry B%d", d.Idom[join], g.Entry)
+	}
+}
+
+func TestLoopForestNesting(t *testing.T) {
+	p := prog.ExampleTripleNested(3, 3, 3)
+	a := analyzeClean(t, p)
+	f := a.Loops
+	if len(f.Loops) != 3 {
+		t.Fatalf("found %d loops, want 3:\n%s", len(f.Loops), f)
+	}
+	if len(f.Roots) != 1 {
+		t.Fatalf("found %d roots, want 1", len(f.Roots))
+	}
+	// Builder LoopInfo is ground truth for heads and depths.
+	for _, want := range p.Loops {
+		l, ok := f.ByHead(want.Head)
+		if !ok {
+			t.Errorf("no static loop at head %d (%s)", want.Head, want.Name)
+			continue
+		}
+		if l.Depth != want.Depth {
+			t.Errorf("loop %s at %d: static depth %d, want %d", want.Name, want.Head, l.Depth, want.Depth)
+		}
+	}
+	// Inner loops have strictly smaller bodies than their parents.
+	for _, l := range f.Loops {
+		if l.Parent >= 0 && l.BodyInsts >= f.Loops[l.Parent].BodyInsts {
+			t.Errorf("inner loop at %d body %d >= parent body %d",
+				l.Head, l.BodyInsts, f.Loops[l.Parent].BodyInsts)
+		}
+	}
+}
+
+func TestLoopForestSequential(t *testing.T) {
+	p := prog.ExampleSequential(4, 5)
+	f := analyzeClean(t, p).Loops
+	if len(f.Loops) != 2 || len(f.Roots) != 2 {
+		t.Fatalf("loops=%d roots=%d, want 2/2:\n%s", len(f.Loops), len(f.Roots), f)
+	}
+	for _, l := range f.Loops {
+		if l.Depth != 0 {
+			t.Errorf("sequential loop at %d depth %d, want 0", l.Head, l.Depth)
+		}
+	}
+}
+
+func TestOuterCandidatesOrdering(t *testing.T) {
+	p := prog.ExampleNested(8, 5)
+	f := analyzeClean(t, p).Loops
+	cands := f.OuterCandidates()
+	if len(cands) != 1 {
+		t.Fatalf("outer candidates = %d, want 1", len(cands))
+	}
+	if cands[0].Depth != 0 {
+		t.Errorf("candidate depth = %d, want 0", cands[0].Depth)
+	}
+	// The outer candidate's body subsumes the inner loop's blocks.
+	inner, ok := f.ByHead(p.Loops[1].Head)
+	if !ok {
+		t.Fatal("inner loop missing from forest")
+	}
+	for _, b := range inner.Blocks {
+		if !cands[0].Contains(b) {
+			t.Errorf("outer candidate missing inner block B%d", b)
+		}
+	}
+}
+
+func TestDiamondLoopSingleLoop(t *testing.T) {
+	p := prog.ExampleDiamondLoop(6)
+	f := analyzeClean(t, p).Loops
+	if len(f.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1 (diamond must not split the loop):\n%s", len(f.Loops), f)
+	}
+	if f.Loops[0].Head != p.Loops[0].Head {
+		t.Errorf("head %d, want %d", f.Loops[0].Head, p.Loops[0].Head)
+	}
+}

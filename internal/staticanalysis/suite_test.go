@@ -1,0 +1,56 @@
+package staticanalysis
+
+import (
+	"testing"
+
+	"mlpa/internal/bench"
+)
+
+// TestSuiteProgramsPassVerifier: every generated suite benchmark must
+// pass preflight — the pipeline now refuses to emulate programs the
+// verifier rejects, so a dirty suite program would break every run.
+func TestSuiteProgramsPassVerifier(t *testing.T) {
+	for _, name := range bench.Names() {
+		spec, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := spec.Program(bench.SizeTiny)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep := Verify(p); !rep.OK() {
+			t.Errorf("%s rejected by verifier:\n%s", name, rep)
+		}
+	}
+}
+
+// TestSuiteDynamicHeadsAreStaticLoops: on suite benchmarks the
+// dynamic profiler must only ever report heads the static forest
+// knows, with nesting no deeper than the static depth.
+func TestSuiteDynamicHeadsAreStaticLoops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles full benchmarks")
+	}
+	for _, name := range []string{"gzip", "swim", "gcc"} {
+		spec, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := spec.Program(bench.SizeTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := analyzeClean(t, p)
+		for _, s := range profileHeads(t, p) {
+			l, ok := a.Loops.ByHead(s.Head)
+			if !ok {
+				t.Errorf("%s: dynamic head %d (depth %d) not a static loop head", name, s.Head, s.Depth)
+				continue
+			}
+			if s.Depth > l.Depth {
+				t.Errorf("%s: head %d dynamic depth %d exceeds static %d", name, s.Head, s.Depth, l.Depth)
+			}
+		}
+	}
+}

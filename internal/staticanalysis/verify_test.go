@@ -1,0 +1,194 @@
+package staticanalysis
+
+import (
+	"strings"
+	"testing"
+
+	"mlpa/internal/isa"
+	"mlpa/internal/prog"
+)
+
+// rawProgram builds a Program directly, bypassing Builder/Assemble
+// validation, so malformed code can be seeded.
+func rawProgram(name string, code []isa.Inst) *prog.Program {
+	return &prog.Program{Name: name, Code: code, Labels: map[string]int64{}}
+}
+
+func findRule(rep *Report, rule Rule) (Diag, bool) {
+	for _, d := range rep.Diags {
+		if d.Rule == rule {
+			return d, true
+		}
+	}
+	return Diag{}, false
+}
+
+// TestVerifyRejectsMalformed seeds the five malformed-program classes
+// from the acceptance criteria and checks each is rejected with a
+// diagnostic naming the offending instruction.
+func TestVerifyRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		code   []isa.Inst
+		rule   Rule
+		wantPC int64
+	}{
+		{
+			name: "bad_target",
+			code: []isa.Inst{
+				{Op: isa.OpAddi, Rd: 1, Rs1: isa.RZero, Imm: 3},
+				{Op: isa.OpBne, Rs1: 1, Rs2: isa.RZero, Targ: 99},
+				{Op: isa.OpHalt},
+			},
+			rule:   RuleBadTarget,
+			wantPC: 1,
+		},
+		{
+			name: "missing_halt",
+			code: []isa.Inst{
+				{Op: isa.OpAddi, Rd: 1, Rs1: isa.RZero, Imm: 1},
+				{Op: isa.OpAddi, Rd: 1, Rs1: 1, Imm: 1},
+			},
+			rule:   RuleMissingHalt,
+			wantPC: -1,
+		},
+		{
+			name: "fallthrough_past_end",
+			code: []isa.Inst{
+				{Op: isa.OpAddi, Rd: 1, Rs1: isa.RZero, Imm: 2},
+				{Op: isa.OpBne, Rs1: 1, Rs2: isa.RZero, Targ: 0},
+			},
+			rule:   RuleFallthroughEnd,
+			wantPC: 1,
+		},
+		{
+			name: "unreachable_block",
+			code: []isa.Inst{
+				{Op: isa.OpJmp, Targ: 3},
+				{Op: isa.OpAddi, Rd: 1, Rs1: isa.RZero, Imm: 1}, // skipped island
+				{Op: isa.OpAddi, Rd: 1, Rs1: 1, Imm: 1},
+				{Op: isa.OpHalt},
+			},
+			rule:   RuleUnreachable,
+			wantPC: 1,
+		},
+		{
+			name: "uninitialized_read",
+			code: []isa.Inst{
+				{Op: isa.OpAdd, Rd: 1, Rs1: 7, Rs2: isa.RZero}, // r7 never written
+				{Op: isa.OpHalt},
+			},
+			rule:   RuleUninitRead,
+			wantPC: 0,
+		},
+		{
+			name: "broken_jr_linkage",
+			code: []isa.Inst{
+				{Op: isa.OpAddi, Rd: 5, Rs1: isa.RZero, Imm: 2},
+				{Op: isa.OpJr, Rs1: 5}, // no jal ever links r5
+				{Op: isa.OpHalt},
+			},
+			rule:   RuleJrLinkage,
+			wantPC: 1,
+		},
+		{
+			name: "invalid_opcode",
+			code: []isa.Inst{
+				{Op: isa.Op(200)},
+				{Op: isa.OpHalt},
+			},
+			rule:   RuleInvalidOpcode,
+			wantPC: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Verify(rawProgram(tc.name, tc.code))
+			if rep.OK() {
+				t.Fatalf("verifier accepted malformed program %s", tc.name)
+			}
+			d, ok := findRule(rep, tc.rule)
+			if !ok {
+				t.Fatalf("no %s diagnostic; got %v", tc.rule, rep.Diags)
+			}
+			if d.PC != tc.wantPC {
+				t.Errorf("%s diagnostic at pc %d, want %d", tc.rule, d.PC, tc.wantPC)
+			}
+			if tc.wantPC >= 0 && d.Inst == "" {
+				t.Errorf("%s diagnostic does not name the offending instruction", tc.rule)
+			}
+			if rep.Err() == nil {
+				t.Error("Err() = nil for failing report")
+			}
+		})
+	}
+}
+
+// TestVerifyAcceptsExamples: every builder-generated example program
+// is clean.
+func TestVerifyAcceptsExamples(t *testing.T) {
+	for _, p := range prog.Examples() {
+		if rep := Verify(p); !rep.OK() {
+			t.Errorf("%s: unexpected findings:\n%s", p.Name, rep)
+		}
+	}
+}
+
+// TestVerifyAcceptsCallLinkage: a proper jal/jr pairing passes both
+// the linkage and reachability rules (the callee is only reachable
+// through the call edge, the code after jal only through the return
+// edge).
+func TestVerifyAcceptsCallLinkage(t *testing.T) {
+	p, err := prog.Assemble("call", `
+        addi r1, r0, 5
+        jal  r31, fn
+        halt
+    fn: addi r1, r1, 1
+        jr   r31
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := Verify(p); !rep.OK() {
+		t.Errorf("unexpected findings:\n%s", rep)
+	}
+}
+
+func TestVerifyDiagnosticContext(t *testing.T) {
+	p := rawProgram("ctx", []isa.Inst{
+		{Op: isa.OpAddi, Rd: 1, Rs1: isa.RZero, Imm: 3},
+		{Op: isa.OpBne, Rs1: 1, Rs2: isa.RZero, Targ: 44},
+		{Op: isa.OpHalt},
+	})
+	p.Labels["top"] = 0
+	rep := Verify(p)
+	d, ok := findRule(rep, RuleBadTarget)
+	if !ok {
+		t.Fatalf("no bad-target diagnostic: %v", rep.Diags)
+	}
+	if d.Label != "top+1" {
+		t.Errorf("label context = %q, want top+1", d.Label)
+	}
+	if !strings.Contains(d.Inst, "bne") {
+		t.Errorf("disassembly %q does not mention bne", d.Inst)
+	}
+	if !strings.Contains(d.String(), "pc 1") {
+		t.Errorf("diagnostic %q does not name pc 1", d)
+	}
+}
+
+func TestPreflightMemoizes(t *testing.T) {
+	bad := rawProgram("bad", []isa.Inst{{Op: isa.OpJmp, Targ: -5}, {Op: isa.OpHalt}})
+	err1 := Preflight(bad)
+	err2 := Preflight(bad)
+	if err1 == nil || err2 == nil {
+		t.Fatal("preflight accepted a malformed program")
+	}
+	good := prog.ExampleNested(2, 2)
+	if err := Preflight(good); err != nil {
+		t.Fatalf("preflight rejected a clean program: %v", err)
+	}
+	if err := Preflight(good); err != nil {
+		t.Fatalf("memoized preflight rejected a clean program: %v", err)
+	}
+}
