@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check vet lint build test race bench clean
+.PHONY: check vet lint build test race fuzz bench clean
 
-## check: the full gate — vet, lint, build, and the race-enabled test suite.
-check: vet lint build race
+## check: the full gate — vet, lint, build, the race-enabled test
+## suite, and a short fuzz pass over every fuzz target.
+check: vet lint build race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +21,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## fuzz: short fuzzing pass — 20s per target ('go test -fuzz' takes
+## exactly one matching target per invocation, hence one run each).
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -fuzz=FuzzAssembleRoundTrip -fuzztime=$(FUZZTIME) ./internal/prog/
+	$(GO) test -fuzz=FuzzVerify -fuzztime=$(FUZZTIME) ./internal/staticanalysis/
 
 ## bench: machine-readable perf/accuracy snapshot (BENCH_<date>.json).
 bench:

@@ -5,13 +5,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
+	"mlpa/internal/bench"
 	"mlpa/internal/experiments"
+	"mlpa/internal/parallel"
 	"mlpa/internal/pipeline"
 )
 
@@ -71,19 +74,25 @@ func runBench(f *flags) error {
 	// attributable per benchmark rather than amortized over the suite.
 	names := o.Benchmarks
 	if len(names) == 0 {
-		full, err := experiments.NewStudy(experiments.Options{Size: o.Size, Seed: o.Seed})
-		if err != nil {
-			return err
-		}
-		for _, pl := range full.Plans {
-			names = append(names, pl.Spec.Name)
-		}
+		names = bench.Names()
 	}
 
+	// Benchmarks are independent: fan the suite out over the worker
+	// budget, with each worker covering every configuration and method
+	// for its benchmark (selection, ground truth, plan execution). A
+	// per-benchmark state cache shares fast-forward work across configs
+	// and methods. Entries land in slot order, so the report is
+	// byte-identical for every -workers value (wall fields excepted).
 	t0 := time.Now()
-	for _, name := range names {
+	entries := make([]benchEntry, len(names))
+	err = parallel.ForEachOpt(f.ctx, f.workers, len(names), func(ctx context.Context, i int) error {
+		name := names[i]
 		bo := o
 		bo.Benchmarks = []string{name}
+		// The suite level already fans out; keep each plan's points
+		// sequential so the machine is not oversubscribed.
+		bo.Workers = 1
+		bo.Ctx = ctx
 		selStart := time.Now()
 		st, err := experiments.NewStudy(bo)
 		if err != nil {
@@ -99,6 +108,7 @@ func runBench(f *flags) error {
 		if err != nil {
 			return err
 		}
+		cache := parallel.NewStateCache(p, 0, f.rt.Metrics())
 		for _, cfg := range configs {
 			truth, truthWall, err := pipeline.FullDetailed(p, cfg)
 			if err != nil {
@@ -112,7 +122,7 @@ func runBench(f *flags) error {
 				}
 				est, err := pipeline.ExecutePlan(p, plan, cfg, pipeline.ExecOptions{
 					Warmup: st.Opts.Warmup, DetailLeadIn: st.Opts.DetailLeadIn,
-					Obs: f.rt,
+					Obs: f.rt, Workers: 1, Ctx: ctx, Cache: cache,
 				})
 				if err != nil {
 					return fmt.Errorf("bench %s/%s config %s: %w", name, method, cfg.Name, err)
@@ -133,9 +143,16 @@ func runBench(f *flags) error {
 				entry.TotalInsts = est.TotalInsts
 			}
 		}
-		rep.Benchmarks = append(rep.Benchmarks, entry)
+		entries[i] = entry
+		return nil
+	}, parallel.ForEachOptions{Metrics: f.rt.Metrics()})
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = entries
+	for _, entry := range entries {
 		fmt.Printf("bench %s: selection %v, truth %v (config %s)\n",
-			name, time.Duration(entry.WallSelection).Round(time.Millisecond),
+			entry.Benchmark, time.Duration(entry.WallSelection).Round(time.Millisecond),
 			time.Duration(entry.WallTruth[configs[0].Name]).Round(time.Millisecond), configs[0].Name)
 	}
 	rep.WallTotal = time.Since(t0).Nanoseconds()

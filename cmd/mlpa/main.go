@@ -15,7 +15,9 @@
 //	mlpa all                        figures and tables above
 //
 // Shared flags: -size tiny|small|ref, -seed N, -benchmarks a,b,c,
-// -rates simplescalar|measured.
+// -rates simplescalar|measured, -workers N (parallel simulation fan-out
+// across benchmarks and simulation points; 0 = GOMAXPROCS, 1 =
+// sequential; results are bit-identical for every worker count).
 //
 // Observability flags (every command): -journal file.jsonl records a
 // structured run journal (manifest, stage spans, per-point records,
@@ -26,11 +28,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"mlpa/internal/bench"
 	"mlpa/internal/config"
@@ -60,6 +65,7 @@ type flags struct {
 	method     string
 	dir        string
 	dynamic    bool
+	workers    int
 
 	// Observability surface.
 	journal    string
@@ -72,6 +78,9 @@ type flags struct {
 	// rt is the observability runtime wired by setupObs; nil-safe, so
 	// commands use it unconditionally.
 	rt *obs.Runtime
+	// ctx is cancelled on SIGINT/SIGTERM so parallel simulation stages
+	// abort cleanly; never nil after run() sets it up.
+	ctx context.Context
 	// args are the positional arguments after the flags (inspect).
 	args []string
 }
@@ -88,6 +97,7 @@ func parseFlags(cmd string, args []string) (*flags, error) {
 	fs.StringVar(&f.method, "method", "multilevel", "sampling method for checkpoint: coasts, simpoint or multilevel")
 	fs.StringVar(&f.dir, "dir", "", "directory to persist checkpoint files (checkpoint command)")
 	fs.BoolVar(&f.dynamic, "dynamic", false, "analyze: also profile dynamically and cross-check against the static forest")
+	fs.IntVar(&f.workers, "workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = sequential; results are identical for every value)")
 	fs.StringVar(&f.journal, "journal", "", "write a JSONL run journal to this file (see `mlpa inspect`)")
 	fs.StringVar(&f.metrics, "metrics", "", "write a JSON metrics-registry snapshot to this file on exit")
 	fs.BoolVar(&f.verbose, "v", false, "log stage progress to stderr")
@@ -118,7 +128,7 @@ func (f *flags) options() (experiments.Options, error) {
 	if err != nil {
 		return experiments.Options{}, err
 	}
-	o := experiments.Options{Size: size, Seed: f.seed, Obs: f.rt}
+	o := experiments.Options{Size: size, Seed: f.seed, Obs: f.rt, Workers: f.workers, Ctx: f.ctx}
 	if f.benchmarks != "" {
 		o.Benchmarks = strings.Split(f.benchmarks, ",")
 	}
@@ -168,6 +178,9 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	f.ctx = ctx
 	if cmd == "inspect" {
 		// inspect only reads an existing journal; no run to observe.
 		return runInspect(f)

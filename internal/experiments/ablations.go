@@ -198,6 +198,8 @@ func ProjectionDimSweep(o Options, benchmark string, dims []int) ([]DimRow, erro
 		est, err := pipeline.ExecutePlan(p, plan, config.BaseA(), pipeline.ExecOptions{
 			Warmup:       o.Warmup,
 			DetailLeadIn: o.DetailLeadIn,
+			Workers:      o.Workers,
+			Ctx:          o.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -245,13 +247,18 @@ func ColdStartAblation(o Options, benchmark string) ([]ColdStartRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		cold, err := pipeline.ExecutePlan(p, plan, config.BaseA(), pipeline.ExecOptions{})
+		cold, err := pipeline.ExecutePlan(p, plan, config.BaseA(), pipeline.ExecOptions{
+			Workers: o.Workers,
+			Ctx:     o.Ctx,
+		})
 		if err != nil {
 			return nil, err
 		}
 		warm, err := pipeline.ExecutePlan(p, plan, config.BaseA(), pipeline.ExecOptions{
 			Warmup:       o.Warmup,
 			DetailLeadIn: o.DetailLeadIn,
+			Workers:      o.Workers,
+			Ctx:          o.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -420,6 +427,8 @@ func StatisticalSamplingComparison(o Options, benchmarks []string) ([]StatSampli
 		est, err := pipeline.ExecutePlan(p, smPlan, config.BaseA(), pipeline.ExecOptions{
 			Warmup:       o.Warmup,
 			DetailLeadIn: o.DetailLeadIn,
+			Workers:      o.Workers,
+			Ctx:          o.Ctx,
 		})
 		if err != nil {
 			return nil, err

@@ -6,10 +6,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"time"
 
 	"mlpa/internal/bench"
@@ -18,6 +17,7 @@ import (
 	"mlpa/internal/linalg"
 	"mlpa/internal/multilevel"
 	"mlpa/internal/obs"
+	"mlpa/internal/parallel"
 	"mlpa/internal/pipeline"
 	"mlpa/internal/sampling"
 	"mlpa/internal/simpoint"
@@ -78,6 +78,18 @@ type Options struct {
 	// stage: selection spans, per-point journal records, deviation
 	// events and progress logging.
 	Obs *obs.Runtime
+	// Workers caps the study's fan-out: how many benchmarks select or
+	// simulate concurrently (0 = GOMAXPROCS). Results are deterministic
+	// for every value — stages merge in suite order. Within
+	// suite-parallel regions each plan executes its points sequentially
+	// so the machine is not oversubscribed; single-benchmark helpers
+	// (the ablation sweeps) instead pass Workers down to
+	// pipeline.ExecutePlan to parallelize across points.
+	Workers int
+	// Ctx, when non-nil, cancels the study between and inside stages;
+	// the first stage to observe cancellation aborts the run with the
+	// context's error. Nil means context.Background().
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -179,7 +191,7 @@ func NewStudy(o Options) (*Study, error) {
 	defer span.End()
 	// Selection is independent and deterministic per benchmark; run it
 	// across the suite in parallel.
-	err = forEachIndex(len(specs), func(i int) error {
+	err = o.forEach(len(specs), func(ctx context.Context, i int) error {
 		spec := specs[i]
 		bspan := span.StartSpan("experiments.select_benchmark", obs.KV("benchmark", spec.Name))
 		defer bspan.End()
@@ -213,54 +225,23 @@ func NewStudy(o Options) (*Study, error) {
 	return st, nil
 }
 
-// forEachIndex runs fn(0..n-1) on up to GOMAXPROCS workers, returning
-// the first error. Work items must be independent; result slots are
-// written by index, so output order stays deterministic.
-func forEachIndex(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+// ctx returns the study's context (never nil).
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= n {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return context.Background()
+}
+
+// forEach fans fn out over the study's worker budget. Work items must
+// be independent; result slots are written by index, so output order
+// stays deterministic. The first error (by lowest index, the same one
+// a sequential loop would surface) cancels the remaining work and is
+// returned; external cancellation through Options.Ctx surfaces as the
+// context's error.
+func (o Options) forEach(n int, fn func(ctx context.Context, i int) error) error {
+	return parallel.ForEachOpt(o.ctx(), o.Workers, n, fn,
+		parallel.ForEachOptions{Metrics: o.Obs.Metrics()})
 }
 
 // SpeedupRow is one bar of Figure 3 or 4.
@@ -380,31 +361,34 @@ func (st *Study) Table2(configs []cpu.Config) (*Table2Result, error) {
 	}
 
 	// The ground-truth and sampled simulations are independent per
-	// (configuration, benchmark) pair; run each configuration's
-	// benchmarks in parallel, then aggregate in suite order so worst
-	// cases and averages stay deterministic.
+	// (benchmark, configuration) pair; run the benchmarks in parallel
+	// with each worker covering every configuration and method for its
+	// benchmark — one functional-state cache per benchmark then serves
+	// all of them, since architectural state is configuration-
+	// independent — and aggregate in suite order so worst cases and
+	// averages stay deterministic.
 	type devs struct{ cpi, l1, l2 [3]float64 }
 	span := st.Opts.Obs.StartSpan("experiments.table2", obs.KV("configs", len(configs)))
 	defer span.End()
-	for _, cfg := range configs {
-		results := make([]devs, len(st.Plans))
-		cfg := cfg
-		cspan := span.StartSpan("experiments.table2_config", obs.KV("config", cfg.Name))
-		err := forEachIndex(len(st.Plans), func(i int) error {
-			pl := st.Plans[i]
-			bspan := cspan.StartSpan("experiments.table2_benchmark",
-				obs.KV("benchmark", pl.Spec.Name), obs.KV("config", cfg.Name))
-			defer bspan.End()
-			p, err := pl.Spec.Program(st.Opts.Size)
-			if err != nil {
-				return err
-			}
-			tspan := bspan.StartSpan("experiments.ground_truth")
+	results := make([]map[string]devs, len(st.Plans))
+	err := st.Opts.forEach(len(st.Plans), func(ctx context.Context, i int) error {
+		pl := st.Plans[i]
+		bspan := span.StartSpan("experiments.table2_benchmark", obs.KV("benchmark", pl.Spec.Name))
+		defer bspan.End()
+		p, err := pl.Spec.Program(st.Opts.Size)
+		if err != nil {
+			return err
+		}
+		cache := parallel.NewStateCache(p, 0, st.Opts.Obs.Metrics())
+		results[i] = make(map[string]devs, len(configs))
+		for _, cfg := range configs {
+			tspan := bspan.StartSpan("experiments.ground_truth", obs.KV("config", cfg.Name))
 			truth, truthWall, err := pipeline.FullDetailed(p, cfg)
 			tspan.End()
 			if err != nil {
 				return err
 			}
+			var r devs
 			for mi, method := range Methods() {
 				plan, err := pl.ByMethod(method)
 				if err != nil {
@@ -415,12 +399,18 @@ func (st *Study) Table2(configs []cpu.Config) (*Table2Result, error) {
 					DetailLeadIn: st.Opts.DetailLeadIn,
 					RunAhead:     st.Opts.RunAhead,
 					Obs:          st.Opts.Obs,
+					// The suite already fans out benchmark-wide; keep each
+					// plan's points sequential so the machine is not
+					// oversubscribed, but share the fast-forward cache.
+					Workers: 1,
+					Ctx:     ctx,
+					Cache:   cache,
 				})
 				if err != nil {
 					return fmt.Errorf("experiments: %s/%s under config %s: %w", pl.Spec.Name, method, cfg.Name, err)
 				}
 				cpiDev, l1Dev, l2Dev := pipeline.Deviations(est, truth)
-				results[i].cpi[mi], results[i].l1[mi], results[i].l2[mi] = cpiDev, l1Dev, l2Dev
+				r.cpi[mi], r.l1[mi], r.l2[mi] = cpiDev, l1Dev, l2Dev
 				st.Opts.Obs.Emit("deviation", map[string]any{
 					"benchmark": pl.Spec.Name,
 					"method":    method,
@@ -434,17 +424,20 @@ func (st *Study) Table2(configs []cpu.Config) (*Table2Result, error) {
 				st.Opts.Obs.Logf("table2 %s/%s config %s: CPI dev %.4f%% (est %.4f true %.4f, truth wall %v)",
 					pl.Spec.Name, method, cfg.Name, 100*cpiDev, est.CPI, truth.CPI(), truthWall.Round(time.Millisecond))
 			}
-			return nil
-		})
-		cspan.End()
-		if err != nil {
-			return nil, err
+			results[i][cfg.Name] = r
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cfg := range configs {
 		for i, pl := range st.Plans {
+			r := results[i][cfg.Name]
 			for mi, method := range Methods() {
-				aggs["CPI"][method][cfg.Name].Add(pl.Spec.Name, results[i].cpi[mi])
-				aggs["L1 Cache Hit"][method][cfg.Name].Add(pl.Spec.Name, results[i].l1[mi])
-				aggs["L2 Cache Hit"][method][cfg.Name].Add(pl.Spec.Name, results[i].l2[mi])
+				aggs["CPI"][method][cfg.Name].Add(pl.Spec.Name, r.cpi[mi])
+				aggs["L1 Cache Hit"][method][cfg.Name].Add(pl.Spec.Name, r.l1[mi])
+				aggs["L2 Cache Hit"][method][cfg.Name].Add(pl.Spec.Name, r.l2[mi])
 			}
 		}
 	}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mlpa/internal/bench"
+	"mlpa/internal/config"
+	"mlpa/internal/cpu"
+)
+
+// TestForEachPropagatesFirstError: the suite fan-out must surface the
+// lowest-index failure — the one a sequential run would have hit —
+// instead of silently dropping errors.
+func TestForEachPropagatesFirstError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		o := Options{Workers: workers}
+		err := o.forEach(10, func(ctx context.Context, i int) error {
+			if i == 2 || i == 6 {
+				return fmt.Errorf("bench %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "bench 2 failed" {
+			t.Errorf("workers=%d: err = %v, want bench 2 failed", workers, err)
+		}
+	}
+}
+
+// TestForEachRespectsCancellation: cancelling Options.Ctx aborts the
+// fan-out with the context's error instead of running to completion.
+func TestForEachRespectsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := Options{Workers: 2, Ctx: ctx}
+	ran := 0
+	err := o.forEach(50, func(ctx context.Context, i int) error {
+		ran++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d items ran under a cancelled context", ran)
+	}
+}
+
+// TestStudyCancelled: a cancelled context aborts NewStudy itself.
+func TestStudyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewStudy(Options{
+		Size: bench.SizeTiny, Seed: 1, Benchmarks: []string{"gzip"}, Ctx: ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("NewStudy under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestTable2WorkerCountInvariant: Table II results must be identical
+// whether the suite fan-out is sequential or parallel.
+func TestTable2WorkerCountInvariant(t *testing.T) {
+	run := func(workers int) *Table2Result {
+		t.Helper()
+		st, err := NewStudy(Options{
+			Size: bench.SizeTiny, Seed: 1,
+			Benchmarks: []string{"gzip", "crafty"},
+			Workers:    workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := st.Table2([]cpu.Config{config.BaseA(), config.SensitivityB()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(4)
+	for _, metric := range seq.Metrics {
+		for method, byCfg := range seq.Cells[metric] {
+			for cfgName, want := range byCfg {
+				got := par.Cells[metric][method][cfgName]
+				if got != want {
+					t.Errorf("%s/%s/%s: parallel cell %+v != sequential %+v",
+						metric, method, cfgName, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package parallel
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"mlpa/internal/emu"
+	"mlpa/internal/obs"
+	"mlpa/internal/prog"
+)
+
+// testProgram returns an example guest long enough for interesting
+// fast-forward positions.
+func testProgram() *prog.Program {
+	return prog.ExampleTripleNested(6, 5, 7)
+}
+
+// checkpointBytes serializes m's full architectural state.
+func checkpointBytes(t *testing.T, m *emu.Machine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMachineAtMatchesFreshFastForward: a machine restored from the
+// cache must match a fresh fast-forward instruction-for-instruction —
+// identical serialized state at the target position, and identical
+// state after every subsequent step.
+func TestMachineAtMatchesFreshFastForward(t *testing.T) {
+	p := testProgram()
+	c := NewStateCache(p, 0, nil)
+	ctx := context.Background()
+	for _, pos := range []uint64{0, 1, 17, 100, 250} {
+		got, err := c.MachineAt(ctx, pos)
+		if err != nil {
+			t.Fatalf("MachineAt(%d): %v", pos, err)
+		}
+		want := emu.New(p, 0)
+		if pos > 0 {
+			if _, err := want.Run(pos); err != nil {
+				t.Fatalf("fresh run to %d: %v", pos, err)
+			}
+		}
+		if got.Insts != pos || want.Insts != pos {
+			t.Fatalf("pos %d: cached at %d, fresh at %d", pos, got.Insts, want.Insts)
+		}
+		if !bytes.Equal(checkpointBytes(t, got), checkpointBytes(t, want)) {
+			t.Fatalf("pos %d: restored state differs from fresh fast-forward", pos)
+		}
+		// Step both to the end of the program, comparing committed
+		// state after every instruction.
+		for step := 0; !want.Halted; step++ {
+			if _, err := want.Step(); err != nil {
+				t.Fatalf("fresh step: %v", err)
+			}
+			if _, err := got.Step(); err != nil {
+				t.Fatalf("restored step: %v", err)
+			}
+			if got.PC != want.PC || got.Insts != want.Insts || got.Halted != want.Halted {
+				t.Fatalf("pos %d: divergence at step %d: restored (pc %d insts %d) vs fresh (pc %d insts %d)",
+					pos, step, got.PC, got.Insts, want.PC, want.Insts)
+			}
+		}
+		if !bytes.Equal(checkpointBytes(t, got), checkpointBytes(t, want)) {
+			t.Fatalf("pos %d: final state differs after stepping to halt", pos)
+		}
+	}
+}
+
+// TestMachineAtSingleFlight: N goroutines requesting the same position
+// concurrently must trigger exactly one underlying fast-forward (one
+// cache miss); everyone still gets a correct, independent machine.
+func TestMachineAtSingleFlight(t *testing.T) {
+	p := testProgram()
+	reg := obs.NewRegistry()
+	c := NewStateCache(p, 0, reg)
+	const pos, goroutines = 200, 16
+
+	var (
+		start = make(chan struct{})
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		state []byte
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			m, err := c.MachineAt(context.Background(), pos)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if m.Insts != pos {
+				t.Errorf("machine at %d, want %d", m.Insts, pos)
+				return
+			}
+			var buf bytes.Buffer
+			if err := m.SaveCheckpoint(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if state == nil {
+				state = buf.Bytes()
+			} else if !bytes.Equal(state, buf.Bytes()) {
+				t.Error("goroutines observed different states for the same position")
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["parallel.state_cache.misses"]; got != 1 {
+		t.Errorf("misses = %d, want exactly 1 (single-flight)", got)
+	}
+	hits := snap.Counters["parallel.state_cache.hits"]
+	if hits != goroutines-1 {
+		t.Errorf("hits = %d, want %d", hits, goroutines-1)
+	}
+	// The build fast-forwarded the prefix exactly once.
+	if got := snap.Counters["parallel.state_cache.ff_insts"]; got != pos {
+		t.Errorf("ff_insts = %d, want %d", got, pos)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+	if c.Bytes() <= 0 {
+		t.Error("cache reports zero serialized bytes")
+	}
+}
+
+// TestMachineAtChainsFromNearestPredecessor: ascending requests reuse
+// the deepest completed entry instead of rebuilding from scratch, so
+// total fast-forward work is one pass over the prefix.
+func TestMachineAtChainsFromNearestPredecessor(t *testing.T) {
+	p := testProgram()
+	reg := obs.NewRegistry()
+	c := NewStateCache(p, 0, reg)
+	ctx := context.Background()
+	positions := []uint64{50, 120, 300}
+	for _, pos := range positions {
+		if _, err := c.MachineAt(ctx, pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	want := int64(positions[len(positions)-1]) // 50 + 70 + 180
+	if got := snap.Counters["parallel.state_cache.ff_insts"]; got != want {
+		t.Errorf("chained ff_insts = %d, want %d (one pass)", got, want)
+	}
+}
+
+// TestMachineAtIndependentMutation: machines handed out for the same
+// position must not share state.
+func TestMachineAtIndependentMutation(t *testing.T) {
+	p := testProgram()
+	c := NewStateCache(p, 0, nil)
+	ctx := context.Background()
+	a, err := c.MachineAt(ctx, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.MachineAt(ctx, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if b.Insts != 40 {
+		t.Errorf("mutating one machine moved the other to %d", b.Insts)
+	}
+}
+
+func TestMachineAtPastHalt(t *testing.T) {
+	p := testProgram()
+	m := emu.New(p, 0)
+	total, err := m.RunToCompletion(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewStateCache(p, 0, nil)
+	_, err = c.MachineAt(context.Background(), total+100)
+	if err == nil || !strings.Contains(err.Error(), "halted") {
+		t.Errorf("err = %v, want halt diagnostic", err)
+	}
+	// The failed position must not be poisoned; a valid one still works.
+	if _, err := c.MachineAt(context.Background(), total); err != nil {
+		t.Errorf("valid position after failed build: %v", err)
+	}
+}
+
+func TestMachineAtCancelledContext(t *testing.T) {
+	p := testProgram()
+	c := NewStateCache(p, 0, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.MachineAt(ctx, 100); err == nil {
+		t.Fatal("cancelled build succeeded")
+	}
+	// A retry with a live context must succeed (no poisoned entry).
+	m, err := c.MachineAt(context.Background(), 100)
+	if err != nil || m.Insts != 100 {
+		t.Fatalf("retry after cancellation: m=%v err=%v", m, err)
+	}
+}

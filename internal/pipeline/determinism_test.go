@@ -1,0 +1,170 @@
+package pipeline
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mlpa/internal/bench"
+	"mlpa/internal/config"
+	"mlpa/internal/cpu"
+	"mlpa/internal/obs"
+	"mlpa/internal/parallel"
+	"mlpa/internal/simpoint"
+)
+
+// stripWall zeroes the wall-clock fields, the only part of an Estimate
+// the determinism contract excludes (docs/PARALLELISM.md).
+func stripWall(est *Estimate) *Estimate {
+	c := *est
+	c.WallDetailed, c.WallFunctional = 0, 0
+	c.PointRecords = make([]PointRecord, len(est.PointRecords))
+	for i, r := range est.PointRecords {
+		r.WallFunctional, r.WallDetailed = 0, 0
+		c.PointRecords[i] = r
+	}
+	return &c
+}
+
+// journalSkeleton extracts the non-wall payload of every point and
+// estimate event, in stream order.
+func journalSkeleton(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	recs, err := obs.ReadJournal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	for _, rec := range recs {
+		ev, _ := rec["ev"].(string)
+		if ev != "point" && ev != "estimate" {
+			continue
+		}
+		m := make(map[string]any, len(rec))
+		for k, v := range rec {
+			switch k {
+			case "wall_functional_ns", "wall_detailed_ns", "ts", "dur_ns":
+				continue
+			}
+			m[k] = v
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestExecutePlanDeterministicAcrossWorkers is the golden determinism
+// test: for every suite benchmark under both Table I configurations,
+// ExecutePlan with 1, 2, 4 and 8 workers must produce bit-identical
+// estimates, point records and journal streams (wall-clock fields
+// excepted). Run it with -race to also exercise the scheduler for data
+// races.
+func TestExecutePlanDeterministicAcrossWorkers(t *testing.T) {
+	configs := []cpu.Config{config.BaseA(), config.SensitivityB()}
+	for _, spec := range bench.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			p := spec.MustProgram(bench.SizeTiny)
+			plan, _, _, err := simpoint.Select(p, simpoint.Config{
+				IntervalLen: bench.FineInterval(bench.SizeTiny), Kmax: 8, Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cfg := range configs {
+				var wantEst *Estimate
+				var wantJournal []map[string]any
+				for _, workers := range []int{1, 2, 4, 8} {
+					var buf bytes.Buffer
+					sink := obs.NewJSONLSink(&buf)
+					rt := obs.New(sink)
+					est, err := ExecutePlan(p, plan, cfg, ExecOptions{
+						Warmup:       2000,
+						DetailLeadIn: 256,
+						RunAhead:     128,
+						Workers:      workers,
+						Obs:          rt,
+					})
+					if err != nil {
+						t.Fatalf("config %s workers %d: %v", cfg.Name, workers, err)
+					}
+					if err := sink.Err(); err != nil {
+						t.Fatal(err)
+					}
+					got := stripWall(est)
+					journal := journalSkeleton(t, &buf)
+					if wantEst == nil {
+						wantEst, wantJournal = got, journal
+						continue
+					}
+					if !reflect.DeepEqual(got, wantEst) {
+						t.Errorf("config %s: workers=%d estimate differs from workers=1:\n got %s\nwant %s",
+							cfg.Name, workers, dumpEstimate(got), dumpEstimate(wantEst))
+					}
+					if !reflect.DeepEqual(journal, wantJournal) {
+						t.Errorf("config %s: workers=%d journal stream differs from workers=1", cfg.Name, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExecutePlanSharedCacheDeterministic: reusing one state cache
+// across configurations and repeated runs must not change results.
+func TestExecutePlanSharedCacheDeterministic(t *testing.T) {
+	p := phasedProgram(t, 30)
+	plan, _, _, err := simpoint.Select(p, simpoint.Config{IntervalLen: 2000, Kmax: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts ExecOptions) *Estimate {
+		t.Helper()
+		est, err := ExecutePlan(p, plan, config.BaseA(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stripWall(est)
+	}
+	base := run(ExecOptions{Warmup: 3000, Workers: 1})
+	cache := parallel.NewStateCache(p, 0, nil)
+	for _, workers := range []int{1, 4} {
+		got := run(ExecOptions{Warmup: 3000, Workers: workers, Cache: cache})
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d with shared cache differs from private-cache run", workers)
+		}
+	}
+	// A second pass over the warm cache must be just as identical.
+	if got := run(ExecOptions{Warmup: 3000, Workers: 4, Cache: cache}); !reflect.DeepEqual(got, base) {
+		t.Error("second shared-cache pass differs")
+	}
+}
+
+// TestExecutePlanMismatchedCacheIgnored: a cache built for another
+// program must be ignored, not corrupt results.
+func TestExecutePlanMismatchedCacheIgnored(t *testing.T) {
+	p := phasedProgram(t, 20)
+	other := phasedProgram(t, 5)
+	plan, _, _, err := simpoint.Select(p, simpoint.Config{IntervalLen: 1000, Kmax: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExecutePlan(p, plan, config.BaseA(), ExecOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExecutePlan(p, plan, config.BaseA(), ExecOptions{Workers: 2, Cache: parallel.NewStateCache(other, 0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripWall(got), stripWall(want)) {
+		t.Error("mismatched cache changed results")
+	}
+}
+
+func dumpEstimate(e *Estimate) string {
+	return fmt.Sprintf("{CPI:%v L1:%v L2:%v Points:%d Det:%d Fun:%d recs:%d}",
+		e.CPI, e.L1Hit, e.L2Hit, e.Points, e.DetailedInsts, e.FunctionalInsts, len(e.PointRecords))
+}

@@ -7,12 +7,15 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"mlpa/internal/cpu"
 	"mlpa/internal/emu"
 	"mlpa/internal/obs"
+	"mlpa/internal/parallel"
 	"mlpa/internal/prog"
 	"mlpa/internal/sampling"
 	"mlpa/internal/staticanalysis"
@@ -22,10 +25,14 @@ import (
 // ExecOptions controls plan execution.
 type ExecOptions struct {
 	// Warmup, when non-zero, functionally warms caches and predictor
-	// over up to this many trailing instructions of each fast-forward
-	// gap, and carries microarchitectural state across points
-	// (SMARTS-style warmth carryover). When zero, every point runs on
-	// a cold context, which is what plain fast-forwarding implies.
+	// over up to this many instructions immediately preceding each
+	// point's detailed lead-in (SMARTS-style functional warming). The
+	// warm window may extend back past the fast-forward gap into
+	// regions earlier points measured — warming replays them
+	// functionally without re-measuring — so a large Warmup approaches
+	// continuously warmed state regardless of point spacing. When
+	// zero, every point runs on a cold context, which is what plain
+	// fast-forwarding implies.
 	//
 	// At this reproduction's nominal-to-emulated scale, interval
 	// lengths shrink by the scale factor while cache capacities and
@@ -51,6 +58,30 @@ type ExecOptions struct {
 	// the point's own cycle count. Without it, short scaled points
 	// containing miss bursts absorb a full drain latency apiece.
 	RunAhead uint64
+
+	// Workers selects how many simulation points execute concurrently.
+	// 0 picks GOMAXPROCS; 1 executes sequentially in line on the
+	// calling goroutine (no goroutines are spawned). Every point runs
+	// on its own fresh detailed context from functional state that is
+	// a pure function of its instruction position, so the resulting
+	// Estimate, point records and journal aggregates are bit-for-bit
+	// identical for every worker count (wall-clock fields excepted);
+	// see docs/PARALLELISM.md for the contract.
+	Workers int
+
+	// Ctx, when non-nil, cancels plan execution: in-flight points
+	// finish, queued points are abandoned, and ExecutePlan returns the
+	// context's error. A nil Ctx means context.Background().
+	Ctx context.Context
+
+	// Cache, when non-nil, is a shared functional-state cache for this
+	// plan's program: concurrent and repeated executions (for example
+	// the same plan under both Table I configurations) reuse each
+	// other's fast-forward work through it. It must have been created
+	// by parallel.NewStateCache for the same *prog.Program; a
+	// mismatched cache is ignored. Nil gives each ExecutePlan call a
+	// private cache.
+	Cache *parallel.StateCache
 
 	// Obs, when non-nil, receives per-point journal records, stage
 	// spans and pipeline metrics for the run. A nil Obs costs nothing.
@@ -156,106 +187,46 @@ func FullDetailed(p *prog.Program, cfg cpu.Config) (cpu.Result, time.Duration, e
 	return res, time.Since(t0), nil
 }
 
-// ExecutePlan performs the sampled simulation a plan describes and
-// returns the weighted estimates. Each point runs on a cold detailed
-// context, as the paper's fast-forward methodology implies; pass
-// ExecOptions.Warmup to warm structures functionally instead.
-func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts ExecOptions) (*Estimate, error) {
-	if err := plan.Validate(); err != nil {
-		return nil, err
-	}
-	// Preflight: refuse to spend emulation time on a malformed guest.
-	// Memoized per program, so re-executing plans costs nothing extra.
-	if err := staticanalysis.Preflight(p); err != nil {
-		return nil, fmt.Errorf("pipeline: preflight for %s/%s: %w", plan.Benchmark, plan.Method, err)
-	}
-	span := opts.Obs.StartSpan("pipeline.execute_plan",
-		obs.KV("benchmark", plan.Benchmark),
-		obs.KV("method", plan.Method),
-		obs.KV("config", cfg.Name),
-		obs.KV("points", len(plan.Points)))
-	defer span.End()
-	reg := opts.Obs.Metrics()
-	m := emu.New(p, 0)
-	m.Metrics = reg
-	est := &Estimate{
-		Benchmark:       plan.Benchmark,
-		Method:          plan.Method,
-		TotalInsts:      plan.TotalInsts,
-		DetailedInsts:   plan.DetailedInsts(),
-		FunctionalInsts: plan.FunctionalInsts(),
-		Points:          len(plan.Points),
-	}
-	var l1Num, l1Den, l2Num, l2Den float64
-	// With warmup, one detailed context carries cache and predictor
-	// state across all points; without, every point starts cold on a
-	// fresh context.
-	var carried *cpu.Sim
-	if opts.Warmup > 0 {
-		var err error
-		carried, err = cpu.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		carried.Metrics = reg
-	}
-	// seen counts the instructions the (carried) detailed context has
-	// observed, via warming or detailed execution.
-	var seen uint64
+// pointTask is the precomputed execution budget of one simulation
+// point: the plain fast-forward from the previous point's run-ahead
+// end, the functional-warming window and discarded detailed lead-in
+// before the point, and the discarded run-ahead after it. Tasks are a
+// pure function of (plan, options), so every worker count derives the
+// same schedule.
+type pointTask struct {
+	skip uint64 // plain fast-forward beyond the previous point's reach
+	warm uint64 // functional warming (may replay earlier points' regions)
+	lead uint64 // discarded detailed lead-in
+	tail uint64 // discarded detailed run-ahead
+	// warmStart is the instruction position warming begins at:
+	// pt.Start - lead - warm.
+	warmStart uint64
+}
+
+// planTasks derives the per-point execution budgets.
+func planTasks(plan *sampling.Plan, opts ExecOptions) ([]pointTask, error) {
+	tasks := make([]pointTask, len(plan.Points))
+	var cursor uint64
 	for pi, pt := range plan.Points {
-		if pt.Start < m.Insts {
+		if pt.Start < cursor {
 			return nil, fmt.Errorf("pipeline: plan %s/%s: point %d [%d,%d) overlaps the previous point or is unsorted (machine already at instruction %d)",
-				plan.Benchmark, plan.Method, pi, pt.Start, pt.End, m.Insts)
+				plan.Benchmark, plan.Method, pi, pt.Start, pt.End, cursor)
 		}
-		sim := carried
-		if sim == nil {
-			var err error
-			sim, err = cpu.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			sim.Metrics = reg
-		}
-		// The gap before the point splits into plain fast-forward,
-		// functional warming, and a detailed lead-in region whose
-		// statistics are discarded.
-		ff := pt.Start - m.Insts
+		ff := pt.Start - cursor
 		lead := opts.DetailLeadIn
 		if lead > ff {
 			lead = ff
 		}
+		// The warm window is capped by available history, not by the
+		// gap: when Warmup exceeds the distance to the previous point,
+		// warming replays regions earlier points measured (functional
+		// warming does not re-measure), so closely spaced points still
+		// enter detailed simulation with deep cache and predictor
+		// history — matching a continuously warmed run.
 		warm := opts.Warmup
-		if warm > ff-lead {
-			warm = ff - lead
+		if warm > pt.Start-lead {
+			warm = pt.Start - lead
 		}
-		t0 := time.Now()
-		if skip := ff - warm - lead; skip > 0 {
-			if _, err := m.Run(skip); err != nil {
-				return nil, fmt.Errorf("pipeline: fast-forward in %s: %w", plan.Benchmark, err)
-			}
-		}
-		if warm > 0 {
-			if err := sim.Warm(m, warm); err != nil {
-				return nil, err
-			}
-		}
-		seen += warm
-		if opts.Warmup > 0 && seen < pt.Len() {
-			// The context has observed less history than the point is
-			// long — typically the first points of a plan, which
-			// COASTS places at the very start of the program. Dry-run
-			// the point region on a cloned machine to warm the
-			// instruction cache and branch predictor (data state is
-			// left untouched; see cpu.WarmCode), so the point measures
-			// the steady-state behaviour of the phase it represents
-			// rather than one-time code-fill transients.
-			if err := sim.WarmCode(m.Clone(), pt.Len()); err != nil {
-				return nil, err
-			}
-		}
-		wallFunc := time.Since(t0)
-		est.WallFunctional += wallFunc
-
 		// Run-ahead is bounded by the distance to the next point (or
 		// program end), so the machine never advances into a region
 		// another point will measure.
@@ -267,54 +238,159 @@ func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts Exec
 		if avail := limit - pt.End; tail > avail {
 			tail = avail
 		}
+		warmStart := pt.Start - lead - warm
+		var skip uint64
+		if warmStart > cursor {
+			skip = warmStart - cursor
+		}
+		tasks[pi] = pointTask{skip: skip, warm: warm, lead: lead, tail: tail, warmStart: warmStart}
+		cursor = pt.End + tail
+	}
+	return tasks, nil
+}
 
-		t0 = time.Now()
-		res, err := sim.RunWindow(m, lead, pt.Len(), tail)
-		wallDet := time.Since(t0)
-		est.WallDetailed += wallDet
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: detailed point %d [%d,%d) in %s/%s: %w",
-				pi, pt.Start, pt.End, plan.Benchmark, plan.Method, err)
+// runPoint executes one simulation point on a fresh detailed context.
+// m must be positioned at the task's warm start; it advances through
+// warming, lead-in, the measured region and run-ahead. t0 is when this
+// point's functional phase (fast-forward or state materialization)
+// began, so the wall split charges state reconstruction to the point.
+func runPoint(m *emu.Machine, cfg cpu.Config, reg *obs.Registry, plan *sampling.Plan, pi int, task pointTask, opts ExecOptions, t0 time.Time) (PointRecord, error) {
+	pt := plan.Points[pi]
+	sim, err := cpu.New(cfg)
+	if err != nil {
+		return PointRecord{}, err
+	}
+	sim.Metrics = reg
+	if task.warm > 0 {
+		if err := sim.Warm(m, task.warm); err != nil {
+			return PointRecord{}, err
 		}
-		if res.Insts != pt.Len() {
-			return nil, fmt.Errorf("pipeline: point %d [%d,%d) in %s/%s simulated %d instructions, want %d",
-				pi, pt.Start, pt.End, plan.Benchmark, plan.Method, res.Insts, pt.Len())
+	}
+	if opts.Warmup > 0 && task.warm < pt.Len() {
+		// The context would enter the point with less warmed history
+		// than the point is long — typically the contiguous points a
+		// plan places at the very start of the program. Dry-run the
+		// point region on a cloned machine to warm the instruction
+		// cache and branch predictor (data state is left untouched; see
+		// cpu.WarmCode), so the point measures the steady-state
+		// behaviour of the phase it represents rather than one-time
+		// code-fill transients.
+		if err := sim.WarmCode(m.Clone(), pt.Len()); err != nil {
+			return PointRecord{}, err
 		}
-		seen += lead + pt.Len() + tail
-		est.CPI += pt.Weight * res.CPI()
+	}
+	wallFunc := time.Since(t0)
+
+	t0 = time.Now()
+	res, err := sim.RunWindow(m, task.lead, pt.Len(), task.tail)
+	wallDet := time.Since(t0)
+	if err != nil {
+		return PointRecord{}, fmt.Errorf("pipeline: detailed point %d [%d,%d) in %s/%s: %w",
+			pi, pt.Start, pt.End, plan.Benchmark, plan.Method, err)
+	}
+	if res.Insts != pt.Len() {
+		return PointRecord{}, fmt.Errorf("pipeline: point %d [%d,%d) in %s/%s simulated %d instructions, want %d",
+			pi, pt.Start, pt.End, plan.Benchmark, plan.Method, res.Insts, pt.Len())
+	}
+	return PointRecord{
+		Index:          pi,
+		Start:          pt.Start,
+		End:            pt.End,
+		Weight:         pt.Weight,
+		Insts:          res.Insts,
+		Cycles:         res.Cycles,
+		CPI:            res.CPI(),
+		L1Hit:          res.L1.HitRate(),
+		L2Hit:          res.L2.HitRate(),
+		L1Accesses:     res.L1.Accesses,
+		L1Hits:         res.L1.Hits(),
+		L2Accesses:     res.L2.Accesses,
+		L2Hits:         res.L2.Hits(),
+		FastForward:    task.skip,
+		Warmed:         task.warm,
+		Lead:           task.lead,
+		Tail:           task.tail,
+		WallFunctional: wallFunc,
+		WallDetailed:   wallDet,
+	}, nil
+}
+
+// ExecutePlan performs the sampled simulation a plan describes and
+// returns the weighted estimates. Every point runs on a fresh detailed
+// context from functional state that is a pure function of its
+// instruction position: plain fast-forward to the point's warm window,
+// functional warming across the window (pass ExecOptions.Warmup; zero
+// keeps every point cold, as the paper's plain fast-forward
+// methodology implies), then the measured detailed region. Because
+// points are independent, ExecOptions.Workers of them execute
+// concurrently, and a deterministic merge orders the outcome by plan
+// index — estimates are bit-for-bit identical for every worker count.
+func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts ExecOptions) (*Estimate, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	// Preflight: refuse to spend emulation time on a malformed guest.
+	// Memoized per program, so re-executing plans costs nothing extra.
+	if err := staticanalysis.Preflight(p); err != nil {
+		return nil, fmt.Errorf("pipeline: preflight for %s/%s: %w", plan.Benchmark, plan.Method, err)
+	}
+	tasks, err := planTasks(plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plan.Points) {
+		workers = len(plan.Points)
+	}
+	span := opts.Obs.StartSpan("pipeline.execute_plan",
+		obs.KV("benchmark", plan.Benchmark),
+		obs.KV("method", plan.Method),
+		obs.KV("config", cfg.Name),
+		obs.KV("points", len(plan.Points)),
+		obs.KV("workers", workers))
+	defer span.End()
+	reg := opts.Obs.Metrics()
+
+	recs := make([]PointRecord, len(plan.Points))
+	if err := executePoints(ctx, p, plan, cfg, reg, tasks, opts, workers, recs); err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: aggregate and journal in plan-index order,
+	// so weighted sums, journal streams and worst-case bookkeeping are
+	// independent of worker count and completion order.
+	est := &Estimate{
+		Benchmark:       plan.Benchmark,
+		Method:          plan.Method,
+		TotalInsts:      plan.TotalInsts,
+		DetailedInsts:   plan.DetailedInsts(),
+		FunctionalInsts: plan.FunctionalInsts(),
+		Points:          len(plan.Points),
+		PointRecords:    recs,
+	}
+	var l1Num, l1Den, l2Num, l2Den float64
+	for i := range recs {
+		rec := &recs[i]
+		est.WallFunctional += rec.WallFunctional
+		est.WallDetailed += rec.WallDetailed
+		est.CPI += rec.Weight * rec.CPI
 		// Hit rates are access-weighted: each point contributes its
 		// access *density* scaled by its representativeness weight, so
 		// phases that barely touch a cache level cannot dominate its
 		// estimated hit rate.
-		perInst := 1 / float64(res.Insts)
-		l1Den += pt.Weight * float64(res.L1.Accesses) * perInst
-		l1Num += pt.Weight * float64(res.L1.Hits()) * perInst
-		l2Den += pt.Weight * float64(res.L2.Accesses) * perInst
-		l2Num += pt.Weight * float64(res.L2.Hits()) * perInst
-
-		rec := PointRecord{
-			Index:          pi,
-			Start:          pt.Start,
-			End:            pt.End,
-			Weight:         pt.Weight,
-			Insts:          res.Insts,
-			Cycles:         res.Cycles,
-			CPI:            res.CPI(),
-			L1Hit:          res.L1.HitRate(),
-			L2Hit:          res.L2.HitRate(),
-			L1Accesses:     res.L1.Accesses,
-			L1Hits:         res.L1.Hits(),
-			L2Accesses:     res.L2.Accesses,
-			L2Hits:         res.L2.Hits(),
-			FastForward:    ff - warm - lead,
-			Warmed:         warm,
-			Lead:           lead,
-			Tail:           tail,
-			WallFunctional: wallFunc,
-			WallDetailed:   wallDet,
-		}
-		est.PointRecords = append(est.PointRecords, rec)
-		journalPoint(opts.Obs, plan, cfg.Name, rec)
+		perInst := 1 / float64(rec.Insts)
+		l1Den += rec.Weight * float64(rec.L1Accesses) * perInst
+		l1Num += rec.Weight * float64(rec.L1Hits) * perInst
+		l2Den += rec.Weight * float64(rec.L2Accesses) * perInst
+		l2Num += rec.Weight * float64(rec.L2Hits) * perInst
+		journalPoint(opts.Obs, plan, cfg.Name, *rec)
 	}
 	reg.Counter("pipeline.points_executed").Add(int64(len(plan.Points)))
 	reg.Counter("pipeline.detailed_insts").Add(int64(est.DetailedInsts))
@@ -336,6 +412,35 @@ func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts Exec
 		"wall_functional_ns": est.WallFunctional.Nanoseconds(),
 	})
 	return est, nil
+}
+
+// executePoints fans the points out over a worker pool (workers == 1
+// runs in line on the calling goroutine). Each worker materializes an
+// independent machine at its point's warm start from the shared state
+// cache — a plan's ascending warm starts chain naturally, so the
+// cache's fast-forward work totals roughly one functional pass over
+// the program regardless of worker count — then runs warming, lead-in,
+// the measured region and run-ahead on that private machine.
+func executePoints(ctx context.Context, p *prog.Program, plan *sampling.Plan, cfg cpu.Config, reg *obs.Registry, tasks []pointTask, opts ExecOptions, workers int, recs []PointRecord) error {
+	cache := opts.Cache
+	if cache == nil || cache.Program() != p {
+		cache = parallel.NewStateCache(p, 0, reg)
+	}
+	return parallel.ForEachOpt(ctx, workers, len(plan.Points), func(ctx context.Context, pi int) error {
+		task := tasks[pi]
+		t0 := time.Now()
+		m, err := cache.MachineAt(ctx, task.warmStart)
+		if err != nil {
+			return fmt.Errorf("pipeline: fast-forward in %s: %w", plan.Benchmark, err)
+		}
+		m.Metrics = reg
+		rec, err := runPoint(m, cfg, reg, plan, pi, task, opts, t0)
+		if err != nil {
+			return err
+		}
+		recs[pi] = rec
+		return nil
+	}, parallel.ForEachOptions{Metrics: reg})
 }
 
 // journalPoint emits one per-point journal record. The record carries

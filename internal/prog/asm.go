@@ -55,6 +55,14 @@ func Assemble(name, src string) (*Program, error) {
 			if label == "" || strings.ContainsAny(label, " \t,()") {
 				return nil, fail(lineNum, "bad label %q", label)
 			}
+			if _, numeric := isIndexPrefix(label); numeric {
+				// A pure-numeric prefix is Disassemble's instruction-index
+				// annotation, not a label definition: numeric branch
+				// targets always resolve as absolute indices, so a numeric
+				// label could never be referenced anyway.
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
 			if _, dup := labels[label]; dup {
 				return nil, fail(lineNum, "duplicate label %q", label)
 			}
@@ -108,6 +116,13 @@ func Assemble(name, src string) (*Program, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// isIndexPrefix reports whether a "label" before ':' is really a
+// numeric instruction-index annotation as emitted by Disassemble.
+func isIndexPrefix(label string) (int64, bool) {
+	v, err := strconv.ParseInt(label, 0, 64)
+	return v, err == nil
 }
 
 func splitOperands(s string) []string {

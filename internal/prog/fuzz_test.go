@@ -1,0 +1,47 @@
+package prog
+
+import (
+	"testing"
+)
+
+// FuzzAssembleRoundTrip: any source the assembler accepts must
+// disassemble to source the assembler accepts again, producing the
+// identical instruction stream — the textual form is a lossless
+// encoding of the program. The assembler may reject input (that is its
+// job); it must never panic, and it must never accept-then-mangle.
+func FuzzAssembleRoundTrip(f *testing.F) {
+	for _, p := range Examples() {
+		f.Add(p.Name, p.Disassemble())
+	}
+	f.Add("tiny", "start:\n  li r1, 3\n  halt\n")
+	f.Add("empty", "")
+	f.Add("junk", "not an instruction\n\x00\xff")
+	f.Add("label-only", "loop:\n")
+	f.Fuzz(func(t *testing.T, name, src string) {
+		p, err := Assemble(name, src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		dis := p.Disassemble()
+		p2, err := Assemble(name, dis)
+		if err != nil {
+			t.Fatalf("disassembly of accepted program rejected: %v\nsource:\n%s\ndisassembly:\n%s", err, src, dis)
+		}
+		if len(p2.Code) != len(p.Code) {
+			t.Fatalf("round-trip length %d != %d", len(p2.Code), len(p.Code))
+		}
+		for i := range p.Code {
+			if p2.Code[i] != p.Code[i] {
+				t.Fatalf("round-trip instruction %d: %v != %v\ndisassembly:\n%s", i, p2.Code[i], p.Code[i], dis)
+			}
+		}
+		if p2.DataSize != p.DataSize {
+			t.Fatalf("round-trip DataSize %d != %d", p2.DataSize, p.DataSize)
+		}
+		// The round-trip must be a fixed point: disassembling again
+		// yields the same text.
+		if dis2 := p2.Disassemble(); dis2 != dis {
+			t.Fatalf("disassembly not a fixed point:\nfirst:\n%s\nsecond:\n%s", dis, dis2)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package staticanalysis
+
+import (
+	"testing"
+
+	"mlpa/internal/prog"
+)
+
+// FuzzVerify: the verifier (and the CFG/dominator/loop analyses built
+// on top of it) must never panic on any program the assembler accepts
+// — it reports structural problems as diagnostics instead.
+func FuzzVerify(f *testing.F) {
+	for _, p := range prog.Examples() {
+		f.Add(p.Disassemble())
+	}
+	f.Add("start:\n  li r1, 3\n  halt\n")
+	f.Add("loop:\n  addi r1, r1, -1\n  bne r1, r0, loop\n  halt\n")
+	f.Add("  jmp missing\n")
+	f.Add("  ld f1, r2, 8\n  halt\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := prog.Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		rep := Verify(p)
+		if rep == nil {
+			t.Fatal("Verify returned nil report")
+		}
+		// The structural analyses must also hold up on whatever the
+		// verifier accepts.
+		if rep.OK() {
+			cfg := BuildCFG(p)
+			doms := Dominators(cfg)
+			if len(doms.Idom) != len(cfg.Blocks) {
+				t.Fatalf("dominator set size %d != block count %d", len(doms.Idom), len(cfg.Blocks))
+			}
+			FindLoops(cfg, doms)
+		}
+	})
+}
