@@ -28,6 +28,7 @@ FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -fuzz=FuzzAssembleRoundTrip -fuzztime=$(FUZZTIME) ./internal/prog/
 	$(GO) test -fuzz=FuzzVerify -fuzztime=$(FUZZTIME) ./internal/staticanalysis/
+	$(GO) test -fuzz=FuzzRunVsStep -fuzztime=$(FUZZTIME) ./internal/emu/
 
 ## bench: machine-readable perf/accuracy snapshot (BENCH_<date>.json).
 bench:

@@ -7,6 +7,7 @@
 package mlpa_test
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -19,10 +20,12 @@ import (
 	"mlpa/internal/emu"
 	"mlpa/internal/experiments"
 	"mlpa/internal/kmeans"
+	"mlpa/internal/linalg"
 	"mlpa/internal/multilevel"
 	"mlpa/internal/phase"
 	"mlpa/internal/phasepred"
 	"mlpa/internal/pipeline"
+	"mlpa/internal/prog"
 	"mlpa/internal/simpoint"
 	"mlpa/internal/smarts"
 	"mlpa/internal/vli"
@@ -181,6 +184,81 @@ func BenchmarkFunctionalEmulator(b *testing.B) {
 		insts += n
 	}
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "M-inst/s")
+}
+
+// emuThroughputBench measures raw execution rate (machine construction
+// hoisted out, Reset per iteration) on a loop-nest kernel, for one of
+// the three engine variants. The fast/step pair quantifies the
+// predecoded batched loop's speedup over the per-instruction
+// reference; hooked shows the cost of an attached Branch hook.
+func emuThroughputBench(b *testing.B, run func(m *emu.Machine) (uint64, error)) {
+	p := prog.ExampleTripleNested(100, 40, 30)
+	m := emu.New(p, 0)
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		n, err := run(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += n
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "M-inst/s")
+}
+
+// BenchmarkEmulatorFastPath measures the predecoded block-batched Run
+// loop.
+func BenchmarkEmulatorFastPath(b *testing.B) {
+	emuThroughputBench(b, func(m *emu.Machine) (uint64, error) {
+		return m.RunToCompletion(1 << 40)
+	})
+}
+
+// BenchmarkEmulatorHooked measures Run with a Branch hook attached
+// (the profiled fast-forward mode).
+func BenchmarkEmulatorHooked(b *testing.B) {
+	emuThroughputBench(b, func(m *emu.Machine) (uint64, error) {
+		var taken uint64
+		m.Branch = func(from, to int64) { taken++ }
+		return m.RunToCompletion(1 << 40)
+	})
+}
+
+// BenchmarkEmulatorStepLoop measures the per-instruction Step loop the
+// fast path is differentially tested against.
+func BenchmarkEmulatorStepLoop(b *testing.B) {
+	emuThroughputBench(b, func(m *emu.Machine) (uint64, error) {
+		var n uint64
+		for !m.Halted {
+			if _, err := m.Step(); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	})
+}
+
+// BenchmarkKMeansCluster measures one fixed-k clustering of a
+// BBV-shaped matrix (the pruned Lloyd + k-means++ inner loops).
+func BenchmarkKMeansCluster(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	points := make([][]float64, 2000)
+	for i := range points {
+		row := make([]float64, 32)
+		for j := 0; j < 8; j++ {
+			row[rng.Intn(len(row))] = rng.Float64()
+		}
+		linalg.NormalizeL1(row)
+		points[i] = row
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kmeans.Cluster(points, 12, kmeans.Options{Seed: 9}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkDetailedSimulator measures the out-of-order model rate

@@ -18,7 +18,8 @@ import (
 	"mlpa/internal/pipeline"
 )
 
-// benchReport is the BENCH_<date>.json document.
+// benchReport is the BENCH_<date>.json document. Schema 2 added the
+// substrate micro-benchmarks (see micro.go).
 type benchReport struct {
 	Schema     int          `json:"schema"`
 	Date       string       `json:"date"`
@@ -26,6 +27,7 @@ type benchReport struct {
 	Seed       int64        `json:"seed"`
 	Configs    []string     `json:"configs"`
 	WallTotal  int64        `json:"wall_total_ns"`
+	Micro      *microReport `json:"micro"`
 	Benchmarks []benchEntry `json:"benchmarks"`
 }
 
@@ -61,10 +63,13 @@ func runBench(f *flags) error {
 		return err
 	}
 	rep := &benchReport{
-		Schema: 1,
+		Schema: 2,
 		Date:   time.Now().Format("2006-01-02"),
 		Size:   f.size,
 		Seed:   f.seed,
+	}
+	if rep.Micro, err = runMicro(f); err != nil {
+		return fmt.Errorf("bench micro: %w", err)
 	}
 	for _, cfg := range configs {
 		rep.Configs = append(rep.Configs, cfg.Name)

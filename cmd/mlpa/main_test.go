@@ -181,8 +181,12 @@ func TestRunBench(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != 1 || len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Benchmark != "gzip" {
+	if rep.Schema != 2 || len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Benchmark != "gzip" {
 		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.Micro == nil || rep.Micro.EmuFastMIPS <= 0 || rep.Micro.EmuStepMIPS <= 0 ||
+		rep.Micro.EmuSpeedup <= 0 || rep.Micro.PlanWall1 <= 0 || rep.Micro.PlanWall4 <= 0 {
+		t.Fatalf("micro section incomplete: %+v", rep.Micro)
 	}
 	e := rep.Benchmarks[0]
 	if e.WallSelection <= 0 || e.WallTruth["A"] <= 0 || len(e.Methods) != 3 {

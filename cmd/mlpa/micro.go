@@ -1,0 +1,168 @@
+// Substrate micro-benchmarks for the bench report: raw emulator
+// throughput (fast path, hooked path, and the per-instruction Step
+// loop it must match), clustering wall time, and end-to-end plan
+// execution at two worker counts. These are the numbers the
+// fast-forward optimizations are judged by; docs/PERFORMANCE.md
+// explains how to compare them across commits.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mlpa/internal/emu"
+	"mlpa/internal/experiments"
+	"mlpa/internal/kmeans"
+	"mlpa/internal/linalg"
+	"mlpa/internal/parallel"
+	"mlpa/internal/pipeline"
+	"mlpa/internal/prog"
+)
+
+// microReport carries the substrate micro-benchmark results.
+type microReport struct {
+	// Emulator throughput in millions of instructions per second on a
+	// reference triple-nested loop kernel.
+	EmuFastMIPS   float64 `json:"emu_fast_mips"`
+	EmuHookedMIPS float64 `json:"emu_hooked_mips"`
+	EmuStepMIPS   float64 `json:"emu_step_mips"`
+	// EmuSpeedup is fast-path over Step-loop throughput.
+	EmuSpeedup float64 `json:"emu_speedup"`
+
+	// KMeansWall is the wall time of a reference clustering problem.
+	KMeansWall int64 `json:"kmeans_wall_ns"`
+
+	// Plan-execution wall times for the first benchmark's multi-level
+	// plan, sequential and fanned out.
+	PlanBenchmark string `json:"plan_benchmark"`
+	PlanWall1     int64  `json:"plan_wall_workers1_ns"`
+	PlanWall4     int64  `json:"plan_wall_workers4_ns"`
+}
+
+// microEmuProgram is the emulator reference kernel: a triple loop nest
+// of roughly 5M instructions dominated by short basic blocks.
+func microEmuProgram() *prog.Program {
+	return prog.ExampleTripleNested(400, 60, 50)
+}
+
+func measureEmu(run func(m *emu.Machine) (uint64, error)) (float64, error) {
+	p := microEmuProgram()
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		m := emu.New(p, 0)
+		t0 := time.Now()
+		n, err := run(m)
+		if err != nil {
+			return 0, err
+		}
+		if mips := float64(n) / time.Since(t0).Seconds() / 1e6; mips > best {
+			best = mips
+		}
+	}
+	return best, nil
+}
+
+func runMicro(f *flags) (*microReport, error) {
+	rep := &microReport{}
+
+	var err error
+	if rep.EmuFastMIPS, err = measureEmu(func(m *emu.Machine) (uint64, error) {
+		return m.RunToCompletion(1 << 40)
+	}); err != nil {
+		return nil, err
+	}
+	if rep.EmuHookedMIPS, err = measureEmu(func(m *emu.Machine) (uint64, error) {
+		var taken uint64
+		m.Branch = func(from, to int64) { taken++ }
+		return m.RunToCompletion(1 << 40)
+	}); err != nil {
+		return nil, err
+	}
+	if rep.EmuStepMIPS, err = measureEmu(func(m *emu.Machine) (uint64, error) {
+		var n uint64
+		for !m.Halted {
+			if _, err := m.Step(); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	}); err != nil {
+		return nil, err
+	}
+	if rep.EmuStepMIPS > 0 {
+		rep.EmuSpeedup = rep.EmuFastMIPS / rep.EmuStepMIPS
+	}
+
+	// Clustering: a BBV-shaped matrix, sized to run in about a second.
+	rng := rand.New(rand.NewSource(f.seed))
+	points := make([][]float64, 2000)
+	for i := range points {
+		row := make([]float64, 32)
+		for j := 0; j < 8; j++ {
+			row[rng.Intn(len(row))] = rng.Float64()
+		}
+		linalg.NormalizeL1(row)
+		points[i] = row
+	}
+	t0 := time.Now()
+	if _, err := kmeans.Best(points, 10, kmeans.Options{Seed: f.seed, Metrics: f.rt.Metrics()}); err != nil {
+		return nil, err
+	}
+	rep.KMeansWall = time.Since(t0).Nanoseconds()
+
+	// End-to-end: the first configured benchmark's multi-level plan at
+	// workers 1 and 4, sharing one state cache the way table2 does.
+	o, err := f.options()
+	if err != nil {
+		return nil, err
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = []string{"gzip"}
+	}
+	o.Benchmarks = o.Benchmarks[:1]
+	o.Workers = 1
+	o.Ctx = f.ctx
+	rep.PlanBenchmark = o.Benchmarks[0]
+	st, err := experiments.NewStudy(o)
+	if err != nil {
+		return nil, err
+	}
+	configs, err := f.cpuConfigs()
+	if err != nil {
+		return nil, err
+	}
+	pl := st.Plans[0]
+	p, err := pl.Spec.Program(o.Size)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := pl.ByMethod(experiments.MethodMultiLevel)
+	if err != nil {
+		return nil, err
+	}
+	for _, workers := range []int{1, 4} {
+		cache := parallel.NewStateCache(p, 0, f.rt.Metrics())
+		t0 := time.Now()
+		if _, err := pipeline.ExecutePlan(p, plan, configs[0], pipeline.ExecOptions{
+			Warmup: st.Opts.Warmup, DetailLeadIn: st.Opts.DetailLeadIn,
+			Obs: f.rt, Workers: workers, Ctx: f.ctx, Cache: cache,
+		}); err != nil {
+			return nil, err
+		}
+		wall := time.Since(t0).Nanoseconds()
+		if workers == 1 {
+			rep.PlanWall1 = wall
+		} else {
+			rep.PlanWall4 = wall
+		}
+	}
+
+	fmt.Printf("micro: emu fast %.1f M-inst/s, hooked %.1f, step %.1f (%.2fx), kmeans %v, plan %v/%v (workers 1/4)\n",
+		rep.EmuFastMIPS, rep.EmuHookedMIPS, rep.EmuStepMIPS, rep.EmuSpeedup,
+		time.Duration(rep.KMeansWall).Round(time.Millisecond),
+		time.Duration(rep.PlanWall1).Round(time.Millisecond),
+		time.Duration(rep.PlanWall4).Round(time.Millisecond))
+	return rep, nil
+}

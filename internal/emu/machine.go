@@ -63,6 +63,7 @@ type Machine struct {
 	code     []isa.Inst
 	blockOf  []int32
 	haltedAt int64
+	dec      *predecoded // shared per-program fast-path representation
 }
 
 // DefaultMemWords is the data-memory size used when a program does not
@@ -89,6 +90,7 @@ func New(p *prog.Program, memWords int64) *Machine {
 		code:        p.Code,
 		blockOf:     p.BlockTable(),
 		BlockCounts: make([]uint64, p.NumBlocks()),
+		dec:         predecode(p),
 	}
 }
 
@@ -109,6 +111,7 @@ func (m *Machine) Clone() *Machine {
 		blockOf:     m.blockOf,
 		BlockCounts: append([]uint64(nil), m.BlockCounts...),
 		haltedAt:    m.haltedAt,
+		dec:         m.dec,
 	}
 	return c
 }
@@ -296,7 +299,10 @@ func (m *Machine) Step() (StepInfo, error) {
 
 // Run executes up to maxInsts instructions (or until halt if maxInsts
 // is 0) and returns the number executed. It is the fast path used for
-// functional fast-forwarding and profiling.
+// functional fast-forwarding and profiling: the program is executed
+// from its predecoded form in basic-block batches (see predecode.go
+// and run.go), which is bit-identical to driving the machine with
+// Step but several times faster.
 func (m *Machine) Run(maxInsts uint64) (uint64, error) {
 	var t0 time.Time
 	if m.Metrics != nil {
@@ -304,11 +310,17 @@ func (m *Machine) Run(maxInsts uint64) (uint64, error) {
 	}
 	var done uint64
 	var err error
-	for !m.Halted && (maxInsts == 0 || done < maxInsts) {
-		if _, err = m.Step(); err != nil {
-			break
-		}
-		done++
+	switch {
+	case m.Halted:
+		// Nothing to do; like the Step loop, a halted machine runs
+		// zero instructions without error.
+	case m.dec == nil:
+		// Machines not built by New have no predecoded program.
+		done, err = m.runStep(maxInsts)
+	case m.Branch != nil:
+		done, err = m.runHooked(maxInsts)
+	default:
+		done, err = m.runFast(maxInsts)
 	}
 	if m.Metrics != nil && done > 0 {
 		if secs := time.Since(t0).Seconds(); secs > 0 {
@@ -349,8 +361,15 @@ func (m *Machine) setInt(r isa.Reg, v int64) {
 	}
 }
 
+// setFP writes FP register r, discarding writes whose destination is
+// not an FP register name — symmetric with setInt, which discards
+// writes to R0 and to FP register names. Verifier-passing programs
+// never hit the guard; it exists so malformed programs behave
+// identically under Step and the predecoded fast path.
 func (m *Machine) setFP(r isa.Reg, v float64) {
-	m.FPRegs[r&31] = v
+	if r.IsFP() {
+		m.FPRegs[r&31] = v
+	}
 }
 
 func b2i(b bool) int64 {

@@ -245,6 +245,42 @@ func TestWritesToR0Discarded(t *testing.T) {
 	}
 }
 
+// TestCrossNamespaceWritesDiscarded pins the int/FP write-discard
+// symmetry: an integer-writing opcode with an FP-named destination and
+// an FP-writing opcode with an integer-named destination must both be
+// dropped rather than aliasing into the other file.
+func TestCrossNamespaceWritesDiscarded(t *testing.T) {
+	p := &prog.Program{Name: "xns", Code: []isa.Inst{
+		{Op: isa.OpAddi, Rd: isa.F(4), Rs1: isa.RZero, Imm: 42}, // int write, FP name
+		{Op: isa.OpCvtIF, Rd: isa.F(5), Rs1: isa.RZero},         // f5 = 0.0
+		{Op: isa.OpFadd, Rd: 6, Rs1: isa.F(5), Rs2: isa.F(5)},   // FP write, int name
+		{Op: isa.OpHalt},
+	}}
+	for _, engine := range []string{"run", "step"} {
+		m := New(p, 0)
+		var err error
+		if engine == "run" {
+			_, err = m.Run(100)
+		} else {
+			for !m.Halted && err == nil {
+				_, err = m.Step()
+			}
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if m.FPRegs[4] != 0 {
+			t.Errorf("%s: integer write leaked into f4 = %v", engine, m.FPRegs[4])
+		}
+		if m.IntRegs[6] != 0 {
+			t.Errorf("%s: FP write leaked into r6 = %d", engine, m.IntRegs[6])
+		}
+		if m.FPRegs[6] != 0 {
+			t.Errorf("%s: fadd to integer name landed in f6 = %v", engine, m.FPRegs[6])
+		}
+	}
+}
+
 func TestBlockCountsSumToInsts(t *testing.T) {
 	p := buildLoop(t, 25)
 	m := New(p, 0)

@@ -1,0 +1,283 @@
+package emu
+
+// The fast execution loops. Run dispatches to one of two monomorphic
+// loops over the predecoded program: runFast for the common no-hook
+// fast-forward (zero indirect calls, registers held in local arrays,
+// per-block instead of per-instruction accounting) and runHooked for
+// profiled runs with a Branch hook attached (same batching, but the
+// architectural state is flushed around every hook invocation so the
+// hook observes exactly what a Step-driven run would).
+//
+// Both loops are bit-identical to driving the machine with Step: same
+// final registers, memory, PC, Insts, BlockCounts, halt state, same
+// returned instruction count, and same errors on the same inputs.
+// TestRunMatchesStepLoop and FuzzRunVsStep enforce the contract.
+
+import (
+	"fmt"
+
+	"mlpa/internal/isa"
+)
+
+// runStep is the legacy per-instruction loop, retained as the
+// reference semantics (and the fallback for machines constructed
+// without New, which have no predecoded program).
+func (m *Machine) runStep(maxInsts uint64) (uint64, error) {
+	var done uint64
+	for !m.Halted && (maxInsts == 0 || done < maxInsts) {
+		if _, err := m.Step(); err != nil {
+			return done, err
+		}
+		done++
+	}
+	return done, nil
+}
+
+// runFast is the no-hook loop. The register files live in local
+// 64-entry arrays (slots 32/33 implement the zero and sink registers,
+// see predecode.go) and are flushed back on every exit path; counters
+// are accumulated locally and flushed once.
+func (m *Machine) runFast(maxInsts uint64) (uint64, error) {
+	d := m.dec
+	dc := d.code
+	spans := d.span
+	codeLen := int64(len(dc))
+	blockOf := m.blockOf
+	bc := m.BlockCounts
+	mem, mask := m.mem, m.memMask
+
+	var R [64]int64
+	copy(R[:32], m.IntRegs[:])
+	var F [64]float64
+	copy(F[:32], m.FPRegs[:])
+
+	pc := m.PC
+	var done, uncounted uint64
+	var err error
+
+loop:
+	for maxInsts == 0 || done < maxInsts {
+		if pc < 0 || pc >= codeLen {
+			m.Halted = true
+			err = fmt.Errorf("emu: program %q: PC %d out of range", m.Prog.Name, pc)
+			break
+		}
+		sp := int64(spans[pc])
+		if sp == 0 {
+			// Invalid opcode: reproduce Step's exact accounting — the
+			// instruction is counted in Insts and BlockCounts, the PC
+			// does not advance, and the caller's executed count
+			// excludes it (Run never increments done on an error).
+			bc[blockOf[pc]]++
+			uncounted = 1
+			err = fmt.Errorf("emu: program %q: unimplemented opcode %v at pc %d", m.Prog.Name, m.code[pc].Op, pc)
+			break
+		}
+		if maxInsts != 0 {
+			if rem := maxInsts - done; uint64(sp) > rem {
+				// Budget expires mid-batch. Everything before a
+				// batch's final instruction is plain straight-line
+				// code, so the partial prefix needs no terminator
+				// handling.
+				execSpan(dc, pc, pc+int64(rem), &R, &F, mem, mask)
+				bc[blockOf[pc]] += rem
+				done += rem
+				pc += int64(rem)
+				break
+			}
+		}
+		bc[blockOf[pc]] += uint64(sp)
+		done += uint64(sp)
+		last := pc + sp - 1
+		t := &dc[last]
+		switch isa.Op(t.op) {
+		case isa.OpHalt:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			m.Halted = true
+			m.haltedAt = last
+			pc = last
+			break loop
+		case isa.OpBeq:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			if R[t.rs1&63] == R[t.rs2&63] {
+				pc = t.imm
+			} else {
+				pc = last + 1
+			}
+		case isa.OpBne:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			if R[t.rs1&63] != R[t.rs2&63] {
+				pc = t.imm
+			} else {
+				pc = last + 1
+			}
+		case isa.OpBlt:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			if R[t.rs1&63] < R[t.rs2&63] {
+				pc = t.imm
+			} else {
+				pc = last + 1
+			}
+		case isa.OpBge:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			if R[t.rs1&63] >= R[t.rs2&63] {
+				pc = t.imm
+			} else {
+				pc = last + 1
+			}
+		case isa.OpJmp:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			pc = t.imm
+		case isa.OpJal:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			R[t.rd&63] = last + 1
+			pc = t.imm
+		case isa.OpJr:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			pc = R[t.rs1&63]
+		default:
+			// Fall-through batch: the final instruction is plain too.
+			execSpan(dc, pc, last+1, &R, &F, mem, mask)
+			pc = last + 1
+		}
+	}
+
+	copy(m.IntRegs[:], R[:32])
+	copy(m.FPRegs[:], F[:32])
+	m.PC = pc
+	m.Insts += done + uncounted
+	return done, err
+}
+
+// runHooked is the Branch-hook loop. It batches exactly like runFast,
+// but on every taken control transfer it flushes the architectural
+// state (registers, PC of the transferring instruction, Insts) before
+// invoking the hook and reloads afterwards, so hooks — which may read
+// counters, snapshot or reset BlockCounts, or even mutate registers —
+// observe precisely the state a Step-driven run would give them.
+func (m *Machine) runHooked(maxInsts uint64) (uint64, error) {
+	d := m.dec
+	dc := d.code
+	spans := d.span
+	codeLen := int64(len(dc))
+	blockOf := m.blockOf
+	mem, mask := m.mem, m.memMask
+	hook := m.Branch
+
+	var R [64]int64
+	copy(R[:32], m.IntRegs[:])
+	var F [64]float64
+	copy(F[:32], m.FPRegs[:])
+
+	pc := m.PC
+	instsBase := m.Insts
+	var done, uncounted uint64
+	var err error
+
+	// fire flushes state, invokes the hook for a taken transfer from
+	// the instruction at `from` to `to`, and reloads.
+	fire := func(from, to int64) {
+		copy(m.IntRegs[:], R[:32])
+		copy(m.FPRegs[:], F[:32])
+		m.PC = from
+		m.Insts = instsBase + done
+		hook(from, to)
+		copy(R[:32], m.IntRegs[:])
+		copy(F[:32], m.FPRegs[:])
+		instsBase = m.Insts - done
+	}
+
+loop:
+	for maxInsts == 0 || done < maxInsts {
+		if pc < 0 || pc >= codeLen {
+			m.Halted = true
+			err = fmt.Errorf("emu: program %q: PC %d out of range", m.Prog.Name, pc)
+			break
+		}
+		sp := int64(spans[pc])
+		if sp == 0 {
+			m.BlockCounts[blockOf[pc]]++
+			uncounted = 1
+			err = fmt.Errorf("emu: program %q: unimplemented opcode %v at pc %d", m.Prog.Name, m.code[pc].Op, pc)
+			break
+		}
+		if maxInsts != 0 {
+			if rem := maxInsts - done; uint64(sp) > rem {
+				execSpan(dc, pc, pc+int64(rem), &R, &F, mem, mask)
+				m.BlockCounts[blockOf[pc]] += rem
+				done += rem
+				pc += int64(rem)
+				break
+			}
+		}
+		m.BlockCounts[blockOf[pc]] += uint64(sp)
+		done += uint64(sp)
+		last := pc + sp - 1
+		t := &dc[last]
+		switch isa.Op(t.op) {
+		case isa.OpHalt:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			m.Halted = true
+			m.haltedAt = last
+			pc = last
+			break loop
+		case isa.OpBeq:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			if R[t.rs1&63] == R[t.rs2&63] {
+				fire(last, t.imm)
+				pc = t.imm
+			} else {
+				pc = last + 1
+			}
+		case isa.OpBne:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			if R[t.rs1&63] != R[t.rs2&63] {
+				fire(last, t.imm)
+				pc = t.imm
+			} else {
+				pc = last + 1
+			}
+		case isa.OpBlt:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			if R[t.rs1&63] < R[t.rs2&63] {
+				fire(last, t.imm)
+				pc = t.imm
+			} else {
+				pc = last + 1
+			}
+		case isa.OpBge:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			if R[t.rs1&63] >= R[t.rs2&63] {
+				fire(last, t.imm)
+				pc = t.imm
+			} else {
+				pc = last + 1
+			}
+		case isa.OpJmp:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			fire(last, t.imm)
+			pc = t.imm
+		case isa.OpJal:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			R[t.rd&63] = last + 1
+			fire(last, t.imm)
+			pc = t.imm
+		case isa.OpJr:
+			execSpan(dc, pc, last, &R, &F, mem, mask)
+			// Like Step, the jump target is read before the hook runs
+			// and is not re-read afterwards.
+			next := R[t.rs1&63]
+			fire(last, next)
+			pc = next
+		default:
+			execSpan(dc, pc, last+1, &R, &F, mem, mask)
+			pc = last + 1
+		}
+	}
+
+	copy(m.IntRegs[:], R[:32])
+	copy(m.FPRegs[:], F[:32])
+	m.PC = pc
+	m.Insts = instsBase + done + uncounted
+	return done, err
+}

@@ -136,17 +136,29 @@ func assignAll(points [][]float64, r *Result) *Result {
 		Sizes:     make([]int, r.K),
 	}
 	for i, p := range points {
-		bi, bd := 0, math.Inf(1)
-		for c := range r.Centroids {
-			if dd := linalg.Dist2(p, r.Centroids[c]); dd < bd {
-				bi, bd = c, dd
-			}
-		}
+		bi, bd := nearestCentroid(p, r.Centroids)
 		out.Assign[i] = bi
 		out.Sizes[bi]++
 		out.Inertia += bd
 	}
 	return out
+}
+
+// nearestCentroid returns the index of the centroid nearest to p and
+// the exact squared distance to it. The scan prunes with
+// linalg.Dist2Bounded using the best distance so far as the bound:
+// a candidate abandoned early is provably farther than the incumbent,
+// and a candidate that survives has its exact Dist2 value, so the
+// (index, distance) pair — including first-wins tie-breaking under the
+// strict < comparison — is identical to an unpruned scan.
+func nearestCentroid(p []float64, cents [][]float64) (int, float64) {
+	bi, bd := 0, math.Inf(1)
+	for c := range cents {
+		if dd := linalg.Dist2Bounded(p, cents[c], bd); dd < bd {
+			bi, bd = c, dd
+		}
+	}
+	return bi, bd
 }
 
 // lloyd runs one seeded k-means attempt.
@@ -165,12 +177,7 @@ func lloyd(points [][]float64, k int, rng *rand.Rand, maxIters int) *Result {
 		iters = iter + 1
 		changed := false
 		for i, p := range points {
-			bi, bd := 0, math.Inf(1)
-			for c := range cents {
-				if dd := linalg.Dist2(p, cents[c]); dd < bd {
-					bi, bd = c, dd
-				}
-			}
+			bi, _ := nearestCentroid(p, cents)
 			if assign[i] != bi {
 				assign[i] = bi
 				changed = true
@@ -226,23 +233,33 @@ func lloyd(points [][]float64, k int, rng *rand.Rand, maxIters int) *Result {
 }
 
 // seedPlusPlus picks k initial centroids by k-means++ sampling.
+//
+// The nearest-centroid distances are maintained incrementally: dists[i]
+// already holds point i's minimum distance to every previously chosen
+// centroid, so each round only measures against the newest one —
+// O(n·k·d) total instead of the naive O(n·k²·d) rescan — and the
+// comparison against the incumbent minimum uses the same strict <
+// update the rescan applied centroid-by-centroid, with Dist2Bounded
+// pruning against the incumbent. Both refinements leave every dists[i]
+// value, the round totals, and the rng draw sequence bit-identical to
+// the naive version (TestSeedPlusPlusInvariant).
 func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
 	n := len(points)
 	cents := make([][]float64, 0, k)
 	first := rng.Intn(n)
 	cents = append(cents, append([]float64(nil), points[first]...))
 	dists := make([]float64, n)
+	for i := range dists {
+		dists[i] = math.Inf(1)
+	}
 	for len(cents) < k {
+		newest := cents[len(cents)-1]
 		var total float64
 		for i, p := range points {
-			dd := math.Inf(1)
-			for _, c := range cents {
-				if v := linalg.Dist2(p, c); v < dd {
-					dd = v
-				}
+			if v := linalg.Dist2Bounded(p, newest, dists[i]); v < dists[i] {
+				dists[i] = v
 			}
-			dists[i] = dd
-			total += dd
+			total += dists[i]
 		}
 		if total == 0 {
 			// All remaining points coincide with existing centroids.

@@ -1,0 +1,348 @@
+package kmeans
+
+// Invariance tests for the pruned distance computations: the partial-
+// distance early exits in lloyd, seedPlusPlus, and assignAll must be
+// invisible — identical assignments, centroid bits, inertia bits,
+// iteration counts, and rng consumption compared to the unpruned
+// reference implementation preserved below.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlpa/internal/linalg"
+	"mlpa/internal/obs"
+)
+
+// --- Frozen reference implementation (pre-pruning) ---
+
+func refLloyd(points [][]float64, k int, rng *rand.Rand, maxIters int) *Result {
+	n := len(points)
+	cents := refSeedPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int, k)
+
+	iters := 0
+	converged := false
+	for iter := 0; iter < maxIters; iter++ {
+		iters = iter + 1
+		changed := false
+		for i, p := range points {
+			bi, bd := 0, math.Inf(1)
+			for c := range cents {
+				if dd := linalg.Dist2(p, cents[c]); dd < bd {
+					bi, bd = c, dd
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			converged = true
+			break
+		}
+		for c := range cents {
+			for j := range cents[c] {
+				cents[c][j] = 0
+			}
+			sizes[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			sizes[c]++
+			linalg.AXPY(cents[c], 1, p)
+		}
+		for c := range cents {
+			if sizes[c] == 0 {
+				far, fd := 0, -1.0
+				for i, p := range points {
+					if dd := linalg.Dist2(p, cents[assign[i]]); dd > fd && sizes[assign[i]] > 1 {
+						far, fd = i, dd
+					}
+				}
+				copy(cents[c], points[far])
+				sizes[assign[far]]--
+				assign[far] = c
+				sizes[c] = 1
+				continue
+			}
+			linalg.Scale(cents[c], 1/float64(sizes[c]))
+		}
+	}
+
+	for c := range sizes {
+		sizes[c] = 0
+	}
+	var inertia float64
+	for i, p := range points {
+		sizes[assign[i]]++
+		inertia += linalg.Dist2(p, cents[assign[i]])
+	}
+	return &Result{K: k, Assign: assign, Centroids: cents, Sizes: sizes, Inertia: inertia,
+		Iters: iters, Converged: converged}
+}
+
+func refSeedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	cents := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	cents = append(cents, append([]float64(nil), points[first]...))
+	dists := make([]float64, n)
+	for len(cents) < k {
+		var total float64
+		for i, p := range points {
+			dd := math.Inf(1)
+			for _, c := range cents {
+				if v := linalg.Dist2(p, c); v < dd {
+					dd = v
+				}
+			}
+			dists[i] = dd
+			total += dd
+		}
+		if total == 0 {
+			cents = append(cents, append([]float64(nil), points[rng.Intn(n)]...))
+			continue
+		}
+		target := rng.Float64() * total
+		idx := 0
+		for i, dd := range dists {
+			target -= dd
+			if target <= 0 {
+				idx = i
+				break
+			}
+		}
+		cents = append(cents, append([]float64(nil), points[idx]...))
+	}
+	return cents
+}
+
+func refAssignAll(points [][]float64, r *Result) *Result {
+	out := &Result{
+		K:         r.K,
+		Assign:    make([]int, len(points)),
+		Centroids: r.Centroids,
+		Sizes:     make([]int, r.K),
+	}
+	for i, p := range points {
+		bi, bd := 0, math.Inf(1)
+		for c := range r.Centroids {
+			if dd := linalg.Dist2(p, r.Centroids[c]); dd < bd {
+				bi, bd = c, dd
+			}
+		}
+		out.Assign[i] = bi
+		out.Sizes[bi]++
+		out.Inertia += bd
+	}
+	return out
+}
+
+// --- Data generators: BBV-shaped matrices with heavy ties ---
+
+// syntheticBBVs builds n sparse rows in d dimensions clustered around
+// g ground-truth phase signatures, with exact duplicates (common in
+// synthetic traces) and a few all-zero rows thrown in so ties and
+// degenerate clusters are exercised.
+func syntheticBBVs(rng *rand.Rand, n, d, g int) [][]float64 {
+	protos := make([][]float64, g)
+	for i := range protos {
+		protos[i] = make([]float64, d)
+		for j := 0; j < d/3+1; j++ {
+			protos[i][rng.Intn(d)] = rng.Float64()
+		}
+		linalg.NormalizeL1(protos[i])
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		switch {
+		case i%17 == 0 && i > 0:
+			// Exact duplicate of an earlier row.
+			rows[i] = append([]float64(nil), rows[rng.Intn(i)]...)
+		case i%23 == 5:
+			rows[i] = make([]float64, d) // all-zero row
+		default:
+			p := protos[rng.Intn(g)]
+			r := append([]float64(nil), p...)
+			for j := range r {
+				r[j] += rng.NormFloat64() * 0.01
+				if r[j] < 0 {
+					r[j] = 0
+				}
+			}
+			linalg.NormalizeL1(r)
+			rows[i] = r
+		}
+	}
+	return rows
+}
+
+func sameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.K != want.K || got.Iters != want.Iters || got.Converged != want.Converged {
+		t.Errorf("%s: K/Iters/Converged = %d/%d/%v, want %d/%d/%v",
+			label, got.K, got.Iters, got.Converged, want.K, want.Iters, want.Converged)
+	}
+	if math.Float64bits(got.Inertia) != math.Float64bits(want.Inertia) {
+		t.Errorf("%s: Inertia %v != reference %v (not bit-identical)", label, got.Inertia, want.Inertia)
+	}
+	for i := range want.Assign {
+		if got.Assign[i] != want.Assign[i] {
+			t.Fatalf("%s: Assign[%d] = %d, want %d", label, i, got.Assign[i], want.Assign[i])
+		}
+	}
+	for c := range want.Centroids {
+		for j := range want.Centroids[c] {
+			if math.Float64bits(got.Centroids[c][j]) != math.Float64bits(want.Centroids[c][j]) {
+				t.Fatalf("%s: Centroids[%d][%d] = %v, want %v (not bit-identical)",
+					label, c, j, got.Centroids[c][j], want.Centroids[c][j])
+			}
+		}
+	}
+	for c := range want.Sizes {
+		if got.Sizes[c] != want.Sizes[c] {
+			t.Errorf("%s: Sizes[%d] = %d, want %d", label, c, got.Sizes[c], want.Sizes[c])
+		}
+	}
+}
+
+// TestLloydPruningInvariant checks the pruned lloyd against the frozen
+// reference over several data shapes, seeds, and k values.
+func TestLloydPruningInvariant(t *testing.T) {
+	dataRng := rand.New(rand.NewSource(99))
+	shapes := []struct{ n, d, g int }{
+		{60, 16, 3},
+		{120, 32, 5},
+		{200, 24, 8},
+		{40, 8, 2},
+	}
+	for _, sh := range shapes {
+		points := syntheticBBVs(dataRng, sh.n, sh.d, sh.g)
+		for _, seed := range []int64{1, 7, 12345, -3} {
+			for _, k := range []int{1, 2, 3, 7, 15} {
+				if k > sh.n {
+					continue
+				}
+				got := lloyd(points, k, rand.New(rand.NewSource(seed)), 100)
+				want := refLloyd(points, k, rand.New(rand.NewSource(seed)), 100)
+				sameResult(t, "lloyd", got, want)
+			}
+		}
+	}
+}
+
+// TestSeedPlusPlusInvariant checks seeding alone: identical centroid
+// choices and identical rng stream consumption (probed by drawing one
+// value afterwards).
+func TestSeedPlusPlusInvariant(t *testing.T) {
+	dataRng := rand.New(rand.NewSource(5))
+	points := syntheticBBVs(dataRng, 150, 20, 6)
+	// Also a degenerate set: every point identical, forcing the
+	// total==0 re-seed path and its Intn draw.
+	flat := make([][]float64, 30)
+	for i := range flat {
+		flat[i] = []float64{0.5, 0.25, 0.25}
+	}
+	for _, pts := range [][][]float64{points, flat} {
+		for _, seed := range []int64{0, 3, 999} {
+			for _, k := range []int{1, 4, 9} {
+				if k > len(pts) {
+					continue
+				}
+				rngA := rand.New(rand.NewSource(seed))
+				rngB := rand.New(rand.NewSource(seed))
+				got := seedPlusPlus(pts, k, rngA)
+				want := refSeedPlusPlus(pts, k, rngB)
+				if len(got) != len(want) {
+					t.Fatalf("centroid count %d != %d", len(got), len(want))
+				}
+				for c := range want {
+					for j := range want[c] {
+						if math.Float64bits(got[c][j]) != math.Float64bits(want[c][j]) {
+							t.Fatalf("seed %d k %d: centroid %d dim %d: %v != %v",
+								seed, k, c, j, got[c][j], want[c][j])
+						}
+					}
+				}
+				if a, b := rngA.Int63(), rngB.Int63(); a != b {
+					t.Fatalf("seed %d k %d: rng streams diverged (%d != %d)", seed, k, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestAssignAllInvariant checks the sampled-clustering full-assignment
+// path.
+func TestAssignAllInvariant(t *testing.T) {
+	dataRng := rand.New(rand.NewSource(17))
+	points := syntheticBBVs(dataRng, 300, 16, 4)
+	base := refLloyd(points[:40], 5, rand.New(rand.NewSource(2)), 100)
+	got := assignAll(points, base)
+	want := refAssignAll(points, base)
+	if math.Float64bits(got.Inertia) != math.Float64bits(want.Inertia) {
+		t.Errorf("Inertia %v != reference %v", got.Inertia, want.Inertia)
+	}
+	for i := range want.Assign {
+		if got.Assign[i] != want.Assign[i] {
+			t.Fatalf("Assign[%d] = %d, want %d", i, got.Assign[i], want.Assign[i])
+		}
+	}
+	for c := range want.Sizes {
+		if got.Sizes[c] != want.Sizes[c] {
+			t.Errorf("Sizes[%d] = %d, want %d", c, got.Sizes[c], want.Sizes[c])
+		}
+	}
+}
+
+// TestClusterPruningEndToEnd drives the public API with the sampled
+// path enabled and telemetry attached: results must match a reference
+// built from the frozen pieces, and the kmeans.iterations histogram
+// must still fire once per restart.
+func TestClusterPruningEndToEnd(t *testing.T) {
+	dataRng := rand.New(rand.NewSource(31))
+	points := syntheticBBVs(dataRng, 400, 24, 6)
+	reg := obs.NewRegistry()
+	opts := Options{Seed: 11, Restarts: 3, SampleCap: 100, Metrics: reg}
+
+	got, err := Cluster(points, 6, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: replicate Cluster's control flow with frozen pieces.
+	o := opts.withDefaults()
+	sampleStride := (len(points) + o.SampleCap - 1) / o.SampleCap
+	var sample [][]float64
+	for i := 0; i < len(points); i += sampleStride {
+		sample = append(sample, points[i])
+	}
+	var want *Result
+	for r := 0; r < o.Restarts; r++ {
+		rng := rand.New(rand.NewSource(o.Seed + int64(r)*7919))
+		res := refLloyd(sample, 6, rng, o.MaxIters)
+		if want == nil || res.Inertia < want.Inertia {
+			want = res
+		}
+	}
+	iters, converged := want.Iters, want.Converged
+	want = refAssignAll(points, want)
+	want.Iters, want.Converged = iters, converged
+
+	sameResult(t, "cluster", &Result{K: got.K, Assign: got.Assign, Centroids: got.Centroids,
+		Sizes: got.Sizes, Inertia: got.Inertia, Iters: got.Iters, Converged: got.Converged}, want)
+
+	if n := reg.Counter("kmeans.restarts").Value(); n != int64(o.Restarts) {
+		t.Errorf("kmeans.restarts = %d, want %d", n, o.Restarts)
+	}
+	if st := reg.Histogram("kmeans.iterations").Stat(); st.Count != int64(o.Restarts) {
+		t.Errorf("kmeans.iterations observed %d times, want %d", st.Count, o.Restarts)
+	}
+}

@@ -45,6 +45,51 @@ func Dist2(a, b []float64) float64 {
 // Dist returns the Euclidean distance between a and b.
 func Dist(a, b []float64) float64 { return math.Sqrt(Dist2(a, b)) }
 
+// Dist2Bounded returns the squared Euclidean distance between a and b,
+// abandoning the accumulation early once the partial sum exceeds
+// bound. The partial sums are formed in exactly Dist2's order, one
+// squared difference at a time, and the early exit triggers only when
+// the partial sum is strictly greater than bound — so whenever the
+// true distance is <= bound the returned value is bit-identical to
+// Dist2(a, b), and otherwise the returned value is some partial sum
+// that is itself > bound. Callers comparing the result against a
+// threshold no larger than bound therefore decide exactly as if they
+// had called Dist2. This is the pruning primitive for the k-means
+// assignment loops; unlike norm-expansion or triangle-inequality
+// bounds it changes no floating-point result (see docs/PERFORMANCE.md).
+//
+// A NaN coordinate makes the partial sum NaN, which is never > bound,
+// so NaN inputs run to completion and return NaN exactly like Dist2.
+func Dist2Bounded(a, b []float64, bound float64) float64 {
+	if len(a) != len(b) {
+		//mlpalint:allow panic (length assertion: caller bug, not runtime input)
+		panic(fmt.Sprintf("linalg: Dist2Bounded length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	i := 0
+	// Check the bound every four dimensions: often enough to cut work
+	// on far-away candidates, rare enough to stay out of the way on
+	// the dense accumulation.
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		s += d0 * d0
+		d1 := a[i+1] - b[i+1]
+		s += d1 * d1
+		d2 := a[i+2] - b[i+2]
+		s += d2 * d2
+		d3 := a[i+3] - b[i+3]
+		s += d3 * d3
+		if s > bound {
+			return s
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
 // AXPY computes dst += alpha * x element-wise.
 func AXPY(dst []float64, alpha float64, x []float64) {
 	if len(dst) != len(x) {

@@ -277,3 +277,42 @@ func TestNormalizeL1Property(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: Dist2Bounded is bit-identical to Dist2 whenever the true
+// distance does not exceed the bound, and returns a value strictly
+// greater than the bound otherwise.
+func TestDist2BoundedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 2000; trial++ {
+		d := rng.Intn(40) + 1
+		a := make([]float64, d)
+		b := make([]float64, d)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 10
+			b[i] = rng.NormFloat64() * 10
+		}
+		exact := Dist2(a, b)
+		for _, bound := range []float64{
+			math.Inf(1), exact, exact * 1.5, exact * 0.5, exact * 0.01, 0,
+		} {
+			got := Dist2Bounded(a, b, bound)
+			if exact <= bound {
+				if math.Float64bits(got) != math.Float64bits(exact) {
+					t.Fatalf("d=%d bound=%v: got %v, want exact %v", d, bound, got, exact)
+				}
+			} else if !(got > bound) {
+				t.Fatalf("d=%d bound=%v: got %v, want > bound (exact %v)", d, bound, got, exact)
+			}
+		}
+	}
+}
+
+// Dist2Bounded must propagate NaN exactly like Dist2 instead of
+// early-exiting past it.
+func TestDist2BoundedNaN(t *testing.T) {
+	a := []float64{1, math.NaN(), 2, 3, 4}
+	b := []float64{0, 0, 0, 0, 0}
+	if got := Dist2Bounded(a, b, 0.5); !math.IsNaN(got) {
+		t.Errorf("Dist2Bounded with NaN input = %v, want NaN", got)
+	}
+}

@@ -7,6 +7,7 @@ package prog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mlpa/internal/isa"
 )
@@ -29,6 +30,12 @@ type Program struct {
 
 	blocks  []BasicBlock
 	blockOf []int32 // instruction index -> basic block ID
+
+	// aux caches derived representations keyed by a consumer-specific
+	// key (see Aux). Attaching caches to the Program keeps their
+	// lifetime tied to the program's instead of pinning dead programs
+	// in a global registry.
+	aux sync.Map
 }
 
 // LoopInfo describes a static loop recorded by the Builder.
@@ -111,6 +118,22 @@ func (p *Program) BlockTable() []int32 {
 		p.computeBlocks()
 	}
 	return p.blockOf
+}
+
+// Aux returns the derived representation of the program registered
+// under key, building it with build on first use. The emulator stores
+// its predecoded form here; any package deriving an expensive
+// per-program structure may do the same with its own unexported key
+// type. Concurrent first calls may each invoke build; exactly one
+// result is kept and returned to everybody. Like the cached
+// basic-block decomposition, cached values assume Code is not mutated
+// after the first derivation.
+func (p *Program) Aux(key any, build func() any) any {
+	if v, ok := p.aux.Load(key); ok {
+		return v
+	}
+	v, _ := p.aux.LoadOrStore(key, build())
+	return v
 }
 
 func (p *Program) computeBlocks() {
