@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"mlpa/internal/bench"
@@ -18,17 +20,57 @@ import (
 	"mlpa/internal/pipeline"
 )
 
-// benchReport is the BENCH_<date>.json document. Schema 2 added the
-// substrate micro-benchmarks (see micro.go).
+// benchSchema is the BENCH_<date>.json document version. Schema 2
+// added the substrate micro-benchmarks (see micro.go); schema 3 added
+// the provenance block and the ExecutePlan worker curve.
+const benchSchema = 3
+
+// benchReport is the BENCH_<date>.json document.
 type benchReport struct {
-	Schema     int          `json:"schema"`
-	Date       string       `json:"date"`
-	Size       string       `json:"size"`
-	Seed       int64        `json:"seed"`
-	Configs    []string     `json:"configs"`
-	WallTotal  int64        `json:"wall_total_ns"`
-	Micro      *microReport `json:"micro"`
-	Benchmarks []benchEntry `json:"benchmarks"`
+	Schema     int              `json:"schema"`
+	Date       string           `json:"date"`
+	Size       string           `json:"size"`
+	Seed       int64            `json:"seed"`
+	Configs    []string         `json:"configs"`
+	Provenance *benchProvenance `json:"provenance,omitempty"`
+	WallTotal  int64            `json:"wall_total_ns"`
+	Micro      *microReport     `json:"micro"`
+	Benchmarks []benchEntry     `json:"benchmarks"`
+}
+
+// benchProvenance records where a report's numbers came from, so two
+// reports are interpretable before they are compared: wall times from
+// different machines or toolchains shift for reasons that are not
+// regressions. `mlpa bench -compare` warns on any mismatch instead of
+// gating on it.
+type benchProvenance struct {
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	GitRevision string `json:"git_revision,omitempty"`
+}
+
+// captureProvenance snapshots the running toolchain and host. The git
+// revision comes from the binary's embedded VCS stamp when the build
+// carried one (`go build`/`go run` from a clean checkout).
+func captureProvenance() *benchProvenance {
+	p := &benchProvenance{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				p.GitRevision = s.Value
+			}
+		}
+	}
+	return p
 }
 
 type benchEntry struct {
@@ -54,6 +96,9 @@ type benchMethod struct {
 }
 
 func runBench(f *flags) error {
+	if f.compare {
+		return runCompare(f)
+	}
 	o, err := f.options()
 	if err != nil {
 		return err
@@ -63,10 +108,11 @@ func runBench(f *flags) error {
 		return err
 	}
 	rep := &benchReport{
-		Schema: 2,
-		Date:   time.Now().Format("2006-01-02"),
-		Size:   f.size,
-		Seed:   f.seed,
+		Schema:     benchSchema,
+		Date:       time.Now().Format("2006-01-02"),
+		Size:       f.size,
+		Seed:       f.seed,
+		Provenance: captureProvenance(),
 	}
 	if rep.Micro, err = runMicro(f); err != nil {
 		return fmt.Errorf("bench micro: %w", err)
@@ -150,7 +196,7 @@ func runBench(f *flags) error {
 		}
 		entries[i] = entry
 		return nil
-	}, parallel.ForEachOptions{Metrics: f.rt.Metrics()})
+	}, parallel.ForEachOptions{Metrics: f.rt.Metrics(), Stage: f.rt.Progress().Stage("bench.benchmarks")})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,334 @@
+// Perf-trajectory gating: `mlpa bench -compare old.json new.json`
+// walks two BENCH_*.json reports and fails when a tracked metric has
+// shifted significantly, turning the checked-in baselines into an
+// actual regression guard. Significance comes from
+// internal/changepoint's median/MAD shift test: metric families that
+// span the suite (per-method deviations and wall times) are compared
+// as paired series, so the verdict reflects the whole trajectory
+// rather than one noisy cell, and scalar micro-benchmarks degrade to a
+// relative-threshold gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mlpa/internal/changepoint"
+	"mlpa/internal/report"
+)
+
+// Gate thresholds. Deterministic accuracy metrics gate at 10%; wall
+// times are machine-noise-prone, so they need 25% and (for series) a
+// robust z-score before they fail the gate.
+const (
+	minRelAccuracy = 0.10
+	minRelMIPS     = 0.10
+	minRelWall     = 0.25
+)
+
+// metricKind selects formatting and gate direction for one finding.
+type metricKind int
+
+const (
+	kindMIPS metricKind = iota // higher is better, rate in M-inst/s
+	kindWall                   // lower is better, nanoseconds
+	kindDev                    // lower is better, relative deviation
+)
+
+// compareFinding is one compared metric family.
+type compareFinding struct {
+	Metric  string
+	Kind    metricKind
+	N       int // paired samples behind the comparison
+	Shift   changepoint.Shift
+	Verdict string // "ok", "regression" or "improvement"
+}
+
+// regressed reports whether the shift is significant in the bad
+// direction for the metric's kind.
+func (c *compareFinding) regressed() bool { return c.Verdict == "regression" }
+
+// finish derives the verdict from the shift and the kind's good
+// direction.
+func (c *compareFinding) finish() {
+	c.Verdict = "ok"
+	if !c.Shift.Significant {
+		return
+	}
+	worse := c.Shift.Rel > 0 // wall and deviation regress upward
+	if c.Kind == kindMIPS {
+		worse = c.Shift.Rel < 0
+	}
+	if worse {
+		c.Verdict = "regression"
+	} else {
+		c.Verdict = "improvement"
+	}
+}
+
+func readBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &benchReport{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("bench compare: %s: %w", path, err)
+	}
+	if rep.Schema < 2 {
+		return nil, fmt.Errorf("bench compare: %s: schema %d predates the micro section; regenerate it", path, rep.Schema)
+	}
+	return rep, nil
+}
+
+// runCompare implements `mlpa bench -compare old.json new.json`.
+func runCompare(f *flags) error {
+	if len(f.args) != 2 {
+		return fmt.Errorf("usage: mlpa bench -compare old.json new.json")
+	}
+	oldRep, err := readBenchReport(f.args[0])
+	if err != nil {
+		return err
+	}
+	newRep, err := readBenchReport(f.args[1])
+	if err != nil {
+		return err
+	}
+	findings, warnings := compareReports(oldRep, newRep)
+	for _, w := range warnings {
+		fmt.Printf("warning: %s\n", w)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("\nBench comparison: %s (%s) vs %s (%s)", f.args[0], oldRep.Date, f.args[1], newRep.Date),
+		"Metric", "Old", "New", "Change", "Z", "N", "Verdict")
+	var regressions []string
+	for i := range findings {
+		c := &findings[i]
+		t.AddRow(c.Metric,
+			formatMetricValue(c.Kind, c.Shift.OldCenter),
+			formatMetricValue(c.Kind, c.Shift.NewCenter),
+			formatRel(c.Shift.Rel),
+			formatZ(c.Shift.Z),
+			strconv.Itoa(c.N),
+			c.Verdict)
+		if c.regressed() {
+			regressions = append(regressions, c.Metric)
+		}
+	}
+	fmt.Print(t.String())
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench compare: %d significant regression(s): %s",
+			len(regressions), strings.Join(regressions, ", "))
+	}
+	fmt.Printf("\nbench compare: no significant regressions across %d metric(s)\n", len(findings))
+	return nil
+}
+
+// compareReports walks every tracked metric family of the two reports
+// and returns the findings (stable order: micro scalars, then plan
+// walls, then per-method series) plus provenance/comparability
+// warnings.
+func compareReports(oldRep, newRep *benchReport) ([]compareFinding, []string) {
+	warnings := comparabilityWarnings(oldRep, newRep)
+	var out []compareFinding
+
+	scalar := func(metric string, kind metricKind, minRel, ov, nv float64) {
+		if ov == 0 && nv == 0 {
+			return
+		}
+		c := compareFinding{Metric: metric, Kind: kind, N: 1,
+			Shift: changepoint.ShiftTest([]float64{ov}, []float64{nv}, changepoint.ShiftOptions{MinRel: minRel})}
+		c.finish()
+		out = append(out, c)
+	}
+	if oldRep.Micro != nil && newRep.Micro != nil {
+		om, nm := oldRep.Micro, newRep.Micro
+		scalar("micro.emu_fast_mips", kindMIPS, minRelMIPS, om.EmuFastMIPS, nm.EmuFastMIPS)
+		scalar("micro.emu_hooked_mips", kindMIPS, minRelMIPS, om.EmuHookedMIPS, nm.EmuHookedMIPS)
+		scalar("micro.emu_step_mips", kindMIPS, minRelMIPS, om.EmuStepMIPS, nm.EmuStepMIPS)
+		scalar("micro.kmeans_wall", kindWall, minRelWall, float64(om.KMeansWall), float64(nm.KMeansWall))
+		for _, workers := range planWallKeys(om, nm) {
+			scalar(fmt.Sprintf("micro.plan_wall[workers=%s]", workers), kindWall, minRelWall,
+				float64(planWall(om, workers)), float64(planWall(nm, workers)))
+		}
+	}
+
+	out = append(out, compareMethodSeries(oldRep, newRep)...)
+	return out, warnings
+}
+
+// planWall reads the ExecutePlan wall for a worker count from either
+// schema: the schema-3 curve when present, the legacy 1/4 fields
+// otherwise.
+func planWall(m *microReport, workers string) int64 {
+	if v, ok := m.PlanWalls[workers]; ok {
+		return v
+	}
+	switch workers {
+	case "1":
+		return m.PlanWall1
+	case "4":
+		return m.PlanWall4
+	}
+	return 0
+}
+
+// planWallKeys returns the worker counts both micro sections cover, in
+// ascending numeric order.
+func planWallKeys(om, nm *microReport) []string {
+	have := func(m *microReport) map[string]bool {
+		set := make(map[string]bool, len(m.PlanWalls)+2)
+		for k, v := range m.PlanWalls {
+			if v > 0 {
+				set[k] = true
+			}
+		}
+		if m.PlanWall1 > 0 {
+			set["1"] = true
+		}
+		if m.PlanWall4 > 0 {
+			set["4"] = true
+		}
+		return set
+	}
+	on, nn := have(om), have(nm)
+	var keys []string
+	for k := range on {
+		if nn[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, _ := strconv.Atoi(keys[i])
+		b, _ := strconv.Atoi(keys[j])
+		return a < b
+	})
+	return keys
+}
+
+// compareMethodSeries pairs the two reports' per-benchmark method
+// results by (benchmark, method, config) and tests each
+// (method, config) family's cpi_dev and wall_estimate trajectories
+// across the common benchmarks.
+func compareMethodSeries(oldRep, newRep *benchReport) []compareFinding {
+	type cell struct{ cpiDev, wall float64 }
+	index := func(rep *benchReport) (map[string]map[string]cell, []string) {
+		byFamily := make(map[string]map[string]cell)
+		var families []string
+		for _, e := range rep.Benchmarks {
+			for _, m := range e.Methods {
+				fam := m.Method + "/" + m.Config
+				if byFamily[fam] == nil {
+					byFamily[fam] = make(map[string]cell)
+					families = append(families, fam)
+				}
+				byFamily[fam][e.Benchmark] = cell{cpiDev: m.CPIDev, wall: float64(m.WallEstimate)}
+			}
+		}
+		return byFamily, families
+	}
+	oldIdx, families := index(oldRep)
+	newIdx, _ := index(newRep)
+
+	var out []compareFinding
+	series := func(metric string, kind metricKind, minRel float64, oldS, newS []float64) {
+		if len(oldS) == 0 {
+			return
+		}
+		c := compareFinding{Metric: metric, Kind: kind, N: len(oldS),
+			Shift: changepoint.ShiftTest(oldS, newS, changepoint.ShiftOptions{MinRel: minRel})}
+		c.finish()
+		out = append(out, c)
+	}
+	for _, fam := range families {
+		newCells, ok := newIdx[fam]
+		if !ok {
+			continue
+		}
+		oldCells := oldIdx[fam]
+		benchNames := make([]string, 0, len(oldCells))
+		for name := range oldCells {
+			if _, ok := newCells[name]; ok {
+				benchNames = append(benchNames, name)
+			}
+		}
+		sort.Strings(benchNames)
+		var oldDev, newDev, oldWall, newWall []float64
+		for _, name := range benchNames {
+			oldDev = append(oldDev, oldCells[name].cpiDev)
+			newDev = append(newDev, newCells[name].cpiDev)
+			oldWall = append(oldWall, oldCells[name].wall)
+			newWall = append(newWall, newCells[name].wall)
+		}
+		series("cpi_dev["+fam+"]", kindDev, minRelAccuracy, oldDev, newDev)
+		series("wall_estimate["+fam+"]", kindWall, minRelWall, oldWall, newWall)
+	}
+	return out
+}
+
+// comparabilityWarnings reports everything that makes the two reports
+// hard to interpret side by side without being a gateable regression:
+// schema, size/seed knobs, and every provenance field.
+func comparabilityWarnings(oldRep, newRep *benchReport) []string {
+	var w []string
+	if oldRep.Schema != newRep.Schema {
+		w = append(w, fmt.Sprintf("schema mismatch: old %d vs new %d", oldRep.Schema, newRep.Schema))
+	}
+	if oldRep.Size != newRep.Size {
+		w = append(w, fmt.Sprintf("suite size mismatch: old %q vs new %q — walls and deviations are not comparable", oldRep.Size, newRep.Size))
+	}
+	if oldRep.Seed != newRep.Seed {
+		w = append(w, fmt.Sprintf("seed mismatch: old %d vs new %d — selections differ by construction", oldRep.Seed, newRep.Seed))
+	}
+	op, np := oldRep.Provenance, newRep.Provenance
+	switch {
+	case op == nil && np == nil:
+		w = append(w, "neither report carries provenance (schema 2); treat wall-time shifts with suspicion")
+	case op == nil || np == nil:
+		w = append(w, "only one report carries provenance; treat wall-time shifts with suspicion")
+	default:
+		field := func(name, ov, nv string) {
+			if ov != nv {
+				w = append(w, fmt.Sprintf("provenance mismatch: %s old %q vs new %q", name, ov, nv))
+			}
+		}
+		field("go_version", op.GoVersion, np.GoVersion)
+		field("goos", op.GOOS, np.GOOS)
+		field("goarch", op.GOARCH, np.GOARCH)
+		field("gomaxprocs", strconv.Itoa(op.GOMAXPROCS), strconv.Itoa(np.GOMAXPROCS))
+		field("num_cpu", strconv.Itoa(op.NumCPU), strconv.Itoa(np.NumCPU))
+	}
+	return w
+}
+
+func formatMetricValue(kind metricKind, v float64) string {
+	switch kind {
+	case kindMIPS:
+		return fmt.Sprintf("%.1f M/s", v)
+	case kindWall:
+		return time.Duration(v).Round(10 * time.Microsecond).String()
+	default:
+		return fmt.Sprintf("%.3f%%", v*100)
+	}
+}
+
+func formatRel(rel float64) string {
+	if math.IsInf(rel, 0) {
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", rel*100)
+}
+
+func formatZ(z float64) string {
+	if math.IsNaN(z) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", z)
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureReport builds a schema-3 report with plausible numbers across
+// the metric families -compare tracks.
+func fixtureReport() *benchReport {
+	rep := &benchReport{
+		Schema: benchSchema,
+		Date:   "2026-08-01",
+		Size:   "small",
+		Seed:   42,
+		Micro: &microReport{
+			EmuFastMIPS:   120,
+			EmuHookedMIPS: 80,
+			EmuStepMIPS:   30,
+			KMeansWall:    250_000_000,
+			PlanWall1:     46_000_000,
+			PlanWall4:     108_000_000,
+			PlanWalls: map[string]int64{
+				"1": 46_000_000, "2": 70_000_000, "4": 108_000_000, "8": 150_000_000,
+			},
+		},
+		Provenance: captureProvenance(),
+	}
+	for _, name := range []string{"art", "crafty", "gcc", "gzip", "lucas", "swim"} {
+		entry := benchEntry{Benchmark: name, WallTruth: map[string]int64{"A": 2_000_000_000}}
+		for _, method := range []string{"coasts", "offline", "online"} {
+			entry.Methods = append(entry.Methods, benchMethod{
+				Method: method, Config: "A", Points: 12,
+				TrueCPI: 1.5, EstCPI: 1.52, CPIDev: 0.013,
+				WallEstimate: 400_000_000,
+			})
+		}
+		rep.Benchmarks = append(rep.Benchmarks, entry)
+	}
+	return rep
+}
+
+func writeReport(t *testing.T, dir, name string, rep *benchReport) string {
+	t.Helper()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareIdenticalReports: comparing a report against itself exits
+// clean with zero regressions — the acceptance criterion's happy path.
+func TestCompareIdenticalReports(t *testing.T) {
+	dir := t.TempDir()
+	rep := fixtureReport()
+	oldPath := writeReport(t, dir, "old.json", rep)
+	newPath := writeReport(t, dir, "new.json", rep)
+	if err := run([]string{"bench", "-compare", oldPath, newPath}); err != nil {
+		t.Fatalf("identical reports flagged: %v", err)
+	}
+	findings, warnings := compareReports(rep, rep)
+	if len(warnings) != 0 {
+		t.Errorf("identical reports warned: %v", warnings)
+	}
+	for _, c := range findings {
+		if c.Verdict != "ok" {
+			t.Errorf("%s verdict = %s on identical reports", c.Metric, c.Verdict)
+		}
+	}
+}
+
+// TestCompareInjectedMIPSDrop: a synthetic 20% emulator-throughput drop
+// must fail the gate and name the regressed metric — the acceptance
+// criterion's unhappy path.
+func TestCompareInjectedMIPSDrop(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := fixtureReport()
+	newRep := fixtureReport()
+	newRep.Micro.EmuFastMIPS *= 0.80
+	oldPath := writeReport(t, dir, "old.json", oldRep)
+	newPath := writeReport(t, dir, "new.json", newRep)
+	err := run([]string{"bench", "-compare", oldPath, newPath})
+	if err == nil {
+		t.Fatal("20% MIPS drop passed the gate")
+	}
+	if !strings.Contains(err.Error(), "micro.emu_fast_mips") {
+		t.Errorf("gate failure does not name the regressed metric: %v", err)
+	}
+}
+
+// TestCompareVerdictDirections: the gate is direction-aware — MIPS
+// regress downward, walls and deviations upward, and shifts in the
+// good direction are improvements, not failures.
+func TestCompareVerdictDirections(t *testing.T) {
+	oldRep := fixtureReport()
+	newRep := fixtureReport()
+	newRep.Micro.EmuFastMIPS *= 1.30 // faster emulator: improvement
+	newRep.Micro.KMeansWall = int64(float64(newRep.Micro.KMeansWall) * 1.40)
+	for i := range newRep.Benchmarks {
+		for j := range newRep.Benchmarks[i].Methods {
+			newRep.Benchmarks[i].Methods[j].CPIDev *= 2 // accuracy collapse
+		}
+	}
+	findings, _ := compareReports(oldRep, newRep)
+	byMetric := make(map[string]compareFinding, len(findings))
+	for _, c := range findings {
+		byMetric[c.Metric] = c
+	}
+	if got := byMetric["micro.emu_fast_mips"].Verdict; got != "improvement" {
+		t.Errorf("faster MIPS verdict = %q, want improvement", got)
+	}
+	if got := byMetric["micro.kmeans_wall"].Verdict; got != "regression" {
+		t.Errorf("slower kmeans verdict = %q, want regression", got)
+	}
+	if got := byMetric["cpi_dev[coasts/A]"].Verdict; got != "regression" {
+		t.Errorf("doubled cpi_dev verdict = %q, want regression", got)
+	}
+	if got := byMetric["wall_estimate[coasts/A]"].Verdict; got != "ok" {
+		t.Errorf("unchanged wall verdict = %q, want ok", got)
+	}
+	// Small shifts under the thresholds never gate.
+	mild := fixtureReport()
+	mild.Micro.EmuFastMIPS *= 0.95 // -5% < the 10% MIPS gate
+	findings, _ = compareReports(oldRep, mild)
+	for _, c := range findings {
+		if c.Metric == "micro.emu_fast_mips" && c.Verdict != "ok" {
+			t.Errorf("5%% MIPS dip verdict = %q, want ok", c.Verdict)
+		}
+	}
+}
+
+// TestComparePlanWallSchemaBridge: a schema-2 report (legacy 1/4
+// fields, no curve) still compares against a schema-3 report on the
+// worker counts both cover, with a schema warning.
+func TestComparePlanWallSchemaBridge(t *testing.T) {
+	oldRep := fixtureReport()
+	oldRep.Schema = 2
+	oldRep.Provenance = nil
+	oldRep.Micro.PlanWalls = nil
+	newRep := fixtureReport()
+	findings, warnings := compareReports(oldRep, newRep)
+	var keys []string
+	for _, c := range findings {
+		if strings.HasPrefix(c.Metric, "micro.plan_wall") {
+			keys = append(keys, c.Metric)
+		}
+	}
+	want := []string{"micro.plan_wall[workers=1]", "micro.plan_wall[workers=4]"}
+	if strings.Join(keys, ",") != strings.Join(want, ",") {
+		t.Errorf("plan wall metrics = %v, want %v", keys, want)
+	}
+	var schemaWarned, provWarned bool
+	for _, w := range warnings {
+		if strings.Contains(w, "schema mismatch") {
+			schemaWarned = true
+		}
+		if strings.Contains(w, "provenance") {
+			provWarned = true
+		}
+	}
+	if !schemaWarned || !provWarned {
+		t.Errorf("missing schema/provenance warnings: %v", warnings)
+	}
+}
+
+// TestCompareProvenanceMismatchWarnsOnly: different hosts warn but do
+// not gate.
+func TestCompareProvenanceMismatchWarnsOnly(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := fixtureReport()
+	oldRep.Provenance = &benchProvenance{
+		GoVersion: "go1.0", GOOS: "plan9", GOARCH: "mips", GOMAXPROCS: 64, NumCPU: 64,
+	}
+	oldPath := writeReport(t, dir, "old.json", oldRep)
+	newPath := writeReport(t, dir, "new.json", fixtureReport())
+	if err := run([]string{"bench", "-compare", oldPath, newPath}); err != nil {
+		t.Fatalf("provenance mismatch gated: %v", err)
+	}
+	_, warnings := compareReports(oldRep, fixtureReport())
+	if len(warnings) < 4 {
+		t.Errorf("expected per-field provenance warnings, got %v", warnings)
+	}
+}
+
+// TestCompareBadInputs: malformed invocations and reports fail cleanly.
+func TestCompareBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", fixtureReport())
+	if err := run([]string{"bench", "-compare", good}); err == nil {
+		t.Error("single-argument -compare accepted")
+	}
+	if err := run([]string{"bench", "-compare", good, filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing report accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"bench", "-compare", good, bad}); err == nil {
+		t.Error("malformed report accepted")
+	}
+	ancient := fixtureReport()
+	ancient.Schema = 1
+	ancientPath := writeReport(t, dir, "ancient.json", ancient)
+	if err := run([]string{"bench", "-compare", ancientPath, good}); err == nil {
+		t.Error("schema-1 report accepted")
+	}
+}

@@ -10,6 +10,7 @@
 //	mlpa ablation [-bench name]     design-choice sweeps (granularity, Kmax, ...)
 //	mlpa checkpoint [-bench -method -dir] checkpointed-point simulation flow
 //	mlpa bench [-config A,B -dir d]  machine-readable BENCH_<date>.json harness
+//	mlpa bench -compare old.json new.json  gate on significant perf regressions
 //	mlpa inspect <run.jsonl>        render a recorded run journal
 //	mlpa analyze [-bench name | file.s] static analysis: verifier, CFG, dominators, loops
 //	mlpa all                        figures and tables above
@@ -23,8 +24,12 @@
 // structured run journal (manifest, stage spans, per-point records,
 // estimates, deviations) that `mlpa inspect` renders; -metrics file
 // dumps the metrics registry as JSON on exit; -v logs stage progress
-// to stderr; -pprof addr serves net/http/pprof; -cpuprofile/-memprofile
-// write runtime profiles.
+// to stderr; -serve addr exposes the run live over HTTP (/metrics in
+// Prometheus text or JSON, /progress per-stage completion, and the
+// pprof mux) without perturbing results; -sample 5s streams periodic
+// metrics_sample records to the journal; -pprof addr serves
+// net/http/pprof; -cpuprofile/-memprofile write runtime profiles. See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"mlpa/internal/bench"
 	"mlpa/internal/config"
@@ -71,9 +77,15 @@ type flags struct {
 	journal    string
 	metrics    string
 	verbose    bool
+	serveAddr  string
+	sample     time.Duration
 	pprofAddr  string
 	cpuprofile string
 	memprofile string
+
+	// compare switches `bench` into report-comparison mode
+	// (`mlpa bench -compare old.json new.json`).
+	compare bool
 
 	// rt is the observability runtime wired by setupObs; nil-safe, so
 	// commands use it unconditionally.
@@ -101,6 +113,9 @@ func parseFlags(cmd string, args []string) (*flags, error) {
 	fs.StringVar(&f.journal, "journal", "", "write a JSONL run journal to this file (see `mlpa inspect`)")
 	fs.StringVar(&f.metrics, "metrics", "", "write a JSON metrics-registry snapshot to this file on exit")
 	fs.BoolVar(&f.verbose, "v", false, "log stage progress to stderr")
+	fs.StringVar(&f.serveAddr, "serve", "", "serve live telemetry (/metrics, /progress, /debug/pprof/) on this address (e.g. localhost:8080)")
+	fs.DurationVar(&f.sample, "sample", 0, "stream periodic metrics_sample records to the journal (or stderr without -journal) at this interval")
+	fs.BoolVar(&f.compare, "compare", false, "bench: compare two BENCH_*.json reports and fail on significant regressions")
 	fs.StringVar(&f.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.StringVar(&f.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.memprofile, "memprofile", "", "write a heap profile to this file on exit")

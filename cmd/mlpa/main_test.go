@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"mlpa/internal/obs"
@@ -181,12 +182,20 @@ func TestRunBench(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != 2 || len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Benchmark != "gzip" {
+	if rep.Schema != benchSchema || len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Benchmark != "gzip" {
 		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.Provenance == nil || rep.Provenance.GoVersion == "" || rep.Provenance.GOMAXPROCS <= 0 {
+		t.Fatalf("provenance incomplete: %+v", rep.Provenance)
 	}
 	if rep.Micro == nil || rep.Micro.EmuFastMIPS <= 0 || rep.Micro.EmuStepMIPS <= 0 ||
 		rep.Micro.EmuSpeedup <= 0 || rep.Micro.PlanWall1 <= 0 || rep.Micro.PlanWall4 <= 0 {
 		t.Fatalf("micro section incomplete: %+v", rep.Micro)
+	}
+	for _, workers := range microPlanWorkers {
+		if rep.Micro.PlanWalls[strconv.Itoa(workers)] <= 0 {
+			t.Errorf("plan wall curve missing workers=%d: %+v", workers, rep.Micro.PlanWalls)
+		}
 	}
 	e := rep.Benchmarks[0]
 	if e.WallSelection <= 0 || e.WallTruth["A"] <= 0 || len(e.Methods) != 3 {

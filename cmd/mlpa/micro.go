@@ -9,6 +9,8 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"time"
 
 	"mlpa/internal/emu"
@@ -34,11 +36,20 @@ type microReport struct {
 	KMeansWall int64 `json:"kmeans_wall_ns"`
 
 	// Plan-execution wall times for the first benchmark's multi-level
-	// plan, sequential and fanned out.
-	PlanBenchmark string `json:"plan_benchmark"`
-	PlanWall1     int64  `json:"plan_wall_workers1_ns"`
-	PlanWall4     int64  `json:"plan_wall_workers4_ns"`
+	// plan across the worker curve (schema 3: workers 1/2/4/8, keyed by
+	// worker count), plus the legacy workers-1/4 fields so schema-2
+	// baselines stay comparable.
+	PlanBenchmark string           `json:"plan_benchmark"`
+	PlanWall1     int64            `json:"plan_wall_workers1_ns"`
+	PlanWall4     int64            `json:"plan_wall_workers4_ns"`
+	PlanWalls     map[string]int64 `json:"plan_wall_by_workers_ns,omitempty"`
 }
+
+// microPlanWorkers is the ExecutePlan fan-out curve the bench report
+// records. Tracking every point of the curve (not just 1 and 4) keeps
+// the known small-suite parallel regression visible end to end while
+// it is being fixed (ROADMAP item 5a).
+var microPlanWorkers = []int{1, 2, 4, 8}
 
 // microEmuProgram is the emulator reference kernel: a triple loop nest
 // of roughly 5M instructions dominated by short basic blocks.
@@ -142,7 +153,8 @@ func runMicro(f *flags) (*microReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, workers := range []int{1, 4} {
+	rep.PlanWalls = make(map[string]int64, len(microPlanWorkers))
+	for _, workers := range microPlanWorkers {
 		cache := parallel.NewStateCache(p, 0, f.rt.Metrics())
 		t0 := time.Now()
 		if _, err := pipeline.ExecutePlan(p, plan, configs[0], pipeline.ExecOptions{
@@ -152,17 +164,23 @@ func runMicro(f *flags) (*microReport, error) {
 			return nil, err
 		}
 		wall := time.Since(t0).Nanoseconds()
-		if workers == 1 {
+		rep.PlanWalls[strconv.Itoa(workers)] = wall
+		switch workers {
+		case 1:
 			rep.PlanWall1 = wall
-		} else {
+		case 4:
 			rep.PlanWall4 = wall
 		}
 	}
 
-	fmt.Printf("micro: emu fast %.1f M-inst/s, hooked %.1f, step %.1f (%.2fx), kmeans %v, plan %v/%v (workers 1/4)\n",
+	planCurve := make([]string, 0, len(microPlanWorkers))
+	for _, workers := range microPlanWorkers {
+		planCurve = append(planCurve, fmt.Sprintf("%d:%v", workers,
+			time.Duration(rep.PlanWalls[strconv.Itoa(workers)]).Round(time.Millisecond)))
+	}
+	fmt.Printf("micro: emu fast %.1f M-inst/s, hooked %.1f, step %.1f (%.2fx), kmeans %v, plan workers %s\n",
 		rep.EmuFastMIPS, rep.EmuHookedMIPS, rep.EmuStepMIPS, rep.EmuSpeedup,
 		time.Duration(rep.KMeansWall).Round(time.Millisecond),
-		time.Duration(rep.PlanWall1).Round(time.Millisecond),
-		time.Duration(rep.PlanWall4).Round(time.Millisecond))
+		strings.Join(planCurve, " "))
 	return rep, nil
 }

@@ -6,8 +6,6 @@ package main
 
 import (
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -56,15 +54,32 @@ func setupObs(f *flags, cmd string) (func() error, error) {
 		Args: os.Args[1:],
 	})
 
-	if f.pprofAddr != "" {
-		go func() {
-			// The pprof handlers register on http.DefaultServeMux via
-			// the net/http/pprof import.
-			if err := http.ListenAndServe(f.pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "mlpa: pprof server:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "mlpa: serving pprof on http://%s/debug/pprof/\n", f.pprofAddr)
+	// Live telemetry: -serve exposes /metrics, /progress and the pprof
+	// mux; -pprof is the legacy spelling and serves the same handler.
+	// The server only reads atomic registry/progress snapshots, so
+	// estimates and journals are bit-identical with and without it.
+	var servers []*obs.Server
+	for _, addr := range []string{f.serveAddr, f.pprofAddr} {
+		if addr == "" {
+			continue
+		}
+		srv, err := obs.Serve(addr, f.rt)
+		if err != nil {
+			return nil, err
+		}
+		servers = append(servers, srv)
+		fmt.Fprintf(os.Stderr, "mlpa: serving live telemetry on http://%s/ (/metrics, /progress, /debug/pprof/)\n", srv.Addr())
+	}
+
+	// -sample streams periodic metrics_sample records so a journal (or
+	// stderr) shows the run's trajectory, not just its final state.
+	var sampler *obs.Sampler
+	if f.sample > 0 {
+		var ssink obs.Sink = obs.NewJSONLSink(os.Stderr)
+		if sink != nil {
+			ssink = sink
+		}
+		sampler = obs.StartSampler(f.rt.Metrics(), ssink, obs.SamplerOptions{Interval: f.sample})
 	}
 
 	var cpuFile *os.File
@@ -86,6 +101,12 @@ func setupObs(f *flags, cmd string) (func() error, error) {
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
+		}
+		// The sampler emits a final sample on Stop, and must settle
+		// before the journal's closing metrics record and file close.
+		sampler.Stop()
+		for _, srv := range servers {
+			keep(srv.Close())
 		}
 		if cpuFile != nil {
 			pprof.StopCPUProfile()

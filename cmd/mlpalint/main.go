@@ -10,6 +10,10 @@
 //     *rand.Rand so runs stay reproducible.
 //   - panic: no panic in library packages (under internal/) outside
 //     tests; functions named Must* are exempt by convention.
+//   - http-listen: no direct listener setup (http.ListenAndServe,
+//     http.Serve, net.Listen, ...) outside internal/obs; live
+//     telemetry must go through obs.Serve so every endpoint gets the
+//     same handler, lifecycle and shutdown behaviour.
 //
 // A site that is legitimately exceptional carries a
 // `//mlpalint:allow <rule>` comment on the same line or the line
@@ -67,6 +71,17 @@ var unseededRandFuncs = map[string]bool{
 	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
 }
 
+// httpListenFuncs are the net/http package-level entry points that
+// bind a listener directly.
+var httpListenFuncs = map[string]bool{
+	"ListenAndServe": true, "ListenAndServeTLS": true, "Serve": true, "ServeTLS": true,
+}
+
+// netListenFuncs are the net package-level listener constructors.
+var netListenFuncs = map[string]bool{
+	"Listen": true, "ListenTCP": true, "ListenUnix": true, "ListenPacket": true,
+}
+
 // Finding is one rule violation.
 type Finding struct {
 	File string // path relative to the lint root
@@ -121,7 +136,10 @@ func lintFile(path, rel string) ([]Finding, error) {
 	dir := filepath.ToSlash(filepath.Dir(rel))
 	deterministic := deterministicPkgs[dir]
 	library := dir == "internal" || strings.HasPrefix(dir, "internal/")
-	if !deterministic && !library {
+	// internal/obs owns the repository's one sanctioned listener setup
+	// (obs.Serve); everywhere else the http-listen rule applies.
+	listenChecked := dir != "internal/obs"
+	if !deterministic && !library && !listenChecked {
 		return nil, nil
 	}
 
@@ -132,6 +150,8 @@ func lintFile(path, rel string) ([]Finding, error) {
 	}
 	allowed := allowDirectives(fset, file)
 	randName := importName(file, "math/rand")
+	httpName := importName(file, "net/http")
+	netName := importName(file, "net")
 
 	var findings []Finding
 	report := func(pos token.Pos, rule, msg string) {
@@ -171,6 +191,14 @@ func lintFile(path, rel string) ([]Finding, error) {
 				if deterministic && pkg.Name == randName && unseededRandFuncs[fun.Sel.Name] {
 					report(call.Pos(), "unseeded-rand",
 						fmt.Sprintf("global rand.%s in a deterministic package; use a seeded *rand.Rand", fun.Sel.Name))
+				}
+				if listenChecked && httpName != "" && pkg.Name == httpName && httpListenFuncs[fun.Sel.Name] {
+					report(call.Pos(), "http-listen",
+						fmt.Sprintf("direct http.%s outside internal/obs; serve telemetry through obs.Serve", fun.Sel.Name))
+				}
+				if listenChecked && netName != "" && pkg.Name == netName && netListenFuncs[fun.Sel.Name] {
+					report(call.Pos(), "http-listen",
+						fmt.Sprintf("direct net.%s outside internal/obs; serve telemetry through obs.Serve", fun.Sel.Name))
 				}
 			}
 			return true

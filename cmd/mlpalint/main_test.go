@@ -141,6 +141,75 @@ func wrongRule() int64 {
 	}
 }
 
+// TestLintHTTPListenRule: direct listener setup is flagged everywhere
+// except internal/obs, the package that owns obs.Serve.
+func TestLintHTTPListenRule(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"cmd/tool/main.go": `package main
+
+import "net/http"
+
+func main() {
+	_ = http.ListenAndServe(":8080", nil)
+}
+`,
+		"internal/foo/f.go": `package foo
+
+import "net"
+
+func Bad() error {
+	_, err := net.Listen("tcp", ":0")
+	return err
+}
+`,
+		// internal/obs is the sanctioned home of listener setup.
+		"internal/obs/server.go": `package obs
+
+import "net"
+
+func Serve(addr string) error {
+	_, err := net.Listen("tcp", addr)
+	return err
+}
+`,
+		// An allow directive suppresses the rule like any other.
+		"cmd/other/main.go": `package main
+
+import "net"
+
+func main() {
+	net.Listen("tcp", ":0") //mlpalint:allow http-listen (test fixture)
+}
+`,
+		// Unrelated Listen methods on other receivers pass.
+		"cmd/quiet/main.go": `package main
+
+type mux struct{}
+
+func (mux) Listen() {}
+
+func main() { mux{}.Listen() }
+`,
+	})
+	fs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"cmd/tool/main.go:6:http-listen",
+		"internal/foo/f.go:6:http-listen",
+	}
+	got := keys(fs)
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
 // TestLintRepoClean: the repository itself must pass its own linter —
 // this is the same gate `make check` runs.
 func TestLintRepoClean(t *testing.T) {

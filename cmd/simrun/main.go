@@ -41,6 +41,7 @@ func run() (err error) {
 		cfgName    = flag.String("config", "A", "machine configuration (A or B) for detailed mode")
 		maxInsts   = flag.Uint64("max", 0, "instruction budget (0 = run to completion)")
 		metricsOut = flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file (- for stderr)")
+		serveAddr  = flag.String("serve", "", "serve live telemetry (/metrics, /progress, /debug/pprof/) on this address")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -76,8 +77,20 @@ func run() (err error) {
 		}()
 	}
 	var reg *obs.Registry
+	var rt *obs.Runtime
+	if *metricsOut != "" || *serveAddr != "" {
+		rt = obs.New(nil)
+		reg = rt.Metrics()
+	}
+	if *serveAddr != "" {
+		srv, serr := obs.Serve(*serveAddr, rt)
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "simrun: serving live telemetry on http://%s/ (/metrics, /debug/pprof/)\n", srv.Addr())
+	}
 	if *metricsOut != "" {
-		reg = obs.NewRegistry()
 		defer func() {
 			if err != nil {
 				return

@@ -1,0 +1,181 @@
+package changepoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMedianAndMAD(t *testing.T) {
+	cases := []struct {
+		xs       []float64
+		med, mad float64
+	}{
+		{[]float64{3}, 3, 0},
+		{[]float64{1, 2, 3}, 2, 1},
+		{[]float64{1, 2, 3, 4}, 2.5, 1},
+		{[]float64{5, 5, 5, 5}, 5, 0},
+		{[]float64{1, 1, 1, 100}, 1, 0},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); got != c.med {
+			t.Errorf("Median(%v) = %v, want %v", c.xs, got, c.med)
+		}
+		if got := MAD(c.xs); got != c.mad {
+			t.Errorf("MAD(%v) = %v, want %v", c.xs, got, c.mad)
+		}
+	}
+	if !math.IsNaN(Median(nil)) || !math.IsNaN(MAD(nil)) {
+		t.Error("empty median/MAD should be NaN")
+	}
+	// The input must not be reordered.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	MAD(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median/MAD mutated their input: %v", xs)
+	}
+}
+
+// golden builds the package's reference synthetic series: three
+// regimes with seeded noise, shifts at 40 and 70.
+func golden() []float64 {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 100)
+	for i := range x {
+		level := 0.0
+		switch {
+		case i >= 70:
+			level = 1.5
+		case i >= 40:
+			level = 5.0
+		}
+		x[i] = level + 0.3*rng.NormFloat64()
+	}
+	return x
+}
+
+// TestDetectGoldenSeries is the package's acceptance test: E-divisive
+// with medians must reproduce the two known change points of the
+// golden synthetic series (and nothing else).
+func TestDetectGoldenSeries(t *testing.T) {
+	cps := Detect(golden(), Options{})
+	if len(cps) != 2 {
+		t.Fatalf("Detect found %d change points (%+v), want 2", len(cps), cps)
+	}
+	for i, want := range []int{40, 70} {
+		got := cps[i].Index
+		if got < want-2 || got > want+2 {
+			t.Errorf("change point %d at index %d, want %d +/- 2", i, got, want)
+		}
+		if cps[i].P > 0.05 {
+			t.Errorf("change point %d has p=%v, want <= 0.05", i, cps[i].P)
+		}
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	x := golden()
+	a := Detect(x, Options{})
+	b := Detect(x, Options{})
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %d vs %d change points", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("non-deterministic change point %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDetectQuietSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 80)
+	for i := range x {
+		x[i] = 10 + 0.5*rng.NormFloat64()
+	}
+	if cps := Detect(x, Options{}); len(cps) != 0 {
+		t.Errorf("Detect on a stationary series found %+v, want none", cps)
+	}
+	// Constant and too-short series must also stay quiet.
+	if cps := Detect(make([]float64, 50), Options{}); len(cps) != 0 {
+		t.Errorf("Detect on a constant series found %+v, want none", cps)
+	}
+	if cps := Detect([]float64{1, 2, 3}, Options{}); len(cps) != 0 {
+		t.Errorf("Detect on a tiny series found %+v, want none", cps)
+	}
+}
+
+// TestDetectOutlierRobust plants two spikes in an otherwise stationary
+// series: the median statistic must not split on them.
+func TestDetectOutlierRobust(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, 80)
+	for i := range x {
+		x[i] = 1 + 0.1*rng.NormFloat64()
+	}
+	x[20], x[55] = 50, -50
+	if cps := Detect(x, Options{}); len(cps) != 0 {
+		t.Errorf("Detect split on outliers: %+v", cps)
+	}
+}
+
+func TestShiftTestIdenticalSamples(t *testing.T) {
+	s := []float64{1.0, 1.1, 0.9, 1.05, 0.95}
+	sh := ShiftTest(s, s, ShiftOptions{})
+	if sh.Significant {
+		t.Errorf("identical samples flagged significant: %+v", sh)
+	}
+	if sh.Rel != 0 {
+		t.Errorf("identical samples Rel = %v, want 0", sh.Rel)
+	}
+}
+
+func TestShiftTestScalarRelGate(t *testing.T) {
+	// Single-point samples: pure relative threshold.
+	if sh := ShiftTest([]float64{100}, []float64{95}, ShiftOptions{}); sh.Significant {
+		t.Errorf("5%% scalar shift flagged significant: %+v", sh)
+	}
+	sh := ShiftTest([]float64{100}, []float64{80}, ShiftOptions{})
+	if !sh.Significant {
+		t.Errorf("20%% scalar shift not flagged: %+v", sh)
+	}
+	if math.Abs(sh.Rel - -0.2) > 1e-12 {
+		t.Errorf("Rel = %v, want -0.2", sh.Rel)
+	}
+}
+
+func TestShiftTestSpreadGate(t *testing.T) {
+	// A 15% median shift well inside the samples' own noise must not
+	// gate; the same shift on tight samples must.
+	noisyOld := []float64{1.0, 2.0, 0.5, 1.5, 0.8, 2.2, 1.2, 0.6}
+	noisyNew := make([]float64, len(noisyOld))
+	for i, v := range noisyOld {
+		noisyNew[i] = v * 1.15
+	}
+	if sh := ShiftTest(noisyOld, noisyNew, ShiftOptions{}); sh.Significant {
+		t.Errorf("within-noise shift flagged significant: %+v", sh)
+	}
+	tightOld := []float64{1.00, 1.01, 0.99, 1.02, 0.98, 1.00, 1.01, 0.99}
+	tightNew := make([]float64, len(tightOld))
+	for i, v := range tightOld {
+		tightNew[i] = v * 1.15
+	}
+	sh := ShiftTest(tightOld, tightNew, ShiftOptions{})
+	if !sh.Significant {
+		t.Errorf("clear tight-sample shift not flagged: %+v", sh)
+	}
+	if sh.Z < 3 {
+		t.Errorf("tight-sample Z = %v, want >= 3", sh.Z)
+	}
+}
+
+func TestShiftTestZeroOldCenter(t *testing.T) {
+	sh := ShiftTest([]float64{0}, []float64{1}, ShiftOptions{})
+	if !math.IsInf(sh.Rel, 1) {
+		t.Errorf("Rel from zero center = %v, want +Inf", sh.Rel)
+	}
+	if !sh.Significant {
+		t.Errorf("appearance from zero not flagged: %+v", sh)
+	}
+}

@@ -1,0 +1,154 @@
+package changepoint
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Changepoint is one detected distribution shift in a series.
+type Changepoint struct {
+	// Index is the first position of the new regime: the series splits
+	// into [..., Index) and [Index, ...).
+	Index int
+	// Stat is the median-divergence statistic at the split.
+	Stat float64
+	// P is the permutation-test p-value that admitted the split.
+	P float64
+}
+
+// Options tunes Detect. The zero value picks the defaults.
+type Options struct {
+	// MinSegment is the minimum length of every resulting segment
+	// (default 5). Splits closer than this to a segment edge are never
+	// considered.
+	MinSegment int
+	// Perms is the number of permutations behind each significance
+	// test (default 99). The resolution of p-values is 1/(Perms+1).
+	Perms int
+	// Alpha is the significance level a split must clear (default
+	// 0.05).
+	Alpha float64
+	// Seed drives the permutation shuffles; Detect is deterministic
+	// for a fixed (series, Options) pair (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSegment == 0 {
+		o.MinSegment = 5
+	}
+	if o.Perms == 0 {
+		o.Perms = 99
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Detect segments x by hierarchical bisection with an E-divisive-style
+// statistic built on medians: each candidate split is scored by the
+// difference of segment medians scaled by the segment's MAD and the
+// split's effective sample size, the best split is admitted when a
+// seeded permutation test finds it significant, and both halves are
+// then searched recursively. Returned change points are sorted by
+// index. Robustness is the point — a few outlier samples move a
+// mean-based statistic but not this one — which is what makes it
+// usable on noisy wall-time trajectories and BBV distance series
+// alike.
+func Detect(x []float64, opt Options) []Changepoint {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var out []Changepoint
+	detect(x, 0, opt, rng, &out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// detect recursively splits x (whose first element is series position
+// base), appending admitted change points to out.
+func detect(x []float64, base int, opt Options, rng *rand.Rand, out *[]Changepoint) {
+	if len(x) < 2*opt.MinSegment {
+		return
+	}
+	tau, stat := bestSplit(x, opt.MinSegment)
+	if tau < 0 || stat == 0 {
+		return
+	}
+	// Permutation test: how often does a reshuffled segment produce an
+	// equally extreme best split by chance?
+	perm := append([]float64(nil), x...)
+	exceed := 0
+	for i := 0; i < opt.Perms; i++ {
+		rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		if _, s := bestSplit(perm, opt.MinSegment); s >= stat {
+			exceed++
+		}
+	}
+	p := float64(exceed+1) / float64(opt.Perms+1)
+	if p > opt.Alpha {
+		return
+	}
+	*out = append(*out, Changepoint{Index: base + tau, Stat: stat, P: p})
+	detect(x[:tau], base, opt, rng, out)
+	detect(x[tau:], base+tau, opt, rng, out)
+}
+
+// bestSplit scores every admissible split of x and returns the argmax
+// and its statistic (tau -1 when no split is admissible).
+func bestSplit(x []float64, minSeg int) (int, float64) {
+	n := len(x)
+	if n < 2*minSeg {
+		return -1, 0
+	}
+	scale := madScale * MAD(x)
+	if scale == 0 {
+		// Degenerate spread (over half the segment identical): fall
+		// back to a tiny scale relative to the segment's magnitude so
+		// any real median shift still scores, while a constant segment
+		// scores zero everywhere.
+		scale = 1e-12 * math.Max(1, math.Abs(Median(x)))
+	}
+	left := runningMedians(x)
+	rev := make([]float64, n)
+	for i, v := range x {
+		rev[n-1-i] = v
+	}
+	right := runningMedians(rev)
+	bestTau, bestStat := -1, 0.0
+	for tau := minSeg; tau <= n-minSeg; tau++ {
+		lm := left[tau-1]    // median of x[:tau]
+		rm := right[n-tau-1] // median of x[tau:]
+		w := float64(tau) * float64(n-tau) / float64(n)
+		stat := math.Sqrt(w) * math.Abs(lm-rm) / scale
+		if stat > bestStat {
+			bestTau, bestStat = tau, stat
+		}
+	}
+	return bestTau, bestStat
+}
+
+// runningMedians returns m where m[k] is the median of xs[:k+1],
+// maintained by binary-search insertion (O(n²) worst case, cheap at
+// the series lengths change detection sees).
+func runningMedians(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	sorted := make([]float64, 0, len(xs))
+	for i, v := range xs {
+		at := sort.SearchFloat64s(sorted, v)
+		sorted = append(sorted, 0)
+		copy(sorted[at+1:], sorted[at:])
+		sorted[at] = v
+		k := i + 1
+		if k%2 == 1 {
+			out[i] = sorted[k/2]
+		} else {
+			out[i] = (sorted[k/2-1] + sorted[k/2]) / 2
+		}
+	}
+	return out
+}

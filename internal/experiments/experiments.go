@@ -191,7 +191,7 @@ func NewStudy(o Options) (*Study, error) {
 	defer span.End()
 	// Selection is independent and deterministic per benchmark; run it
 	// across the suite in parallel.
-	err = o.forEach(len(specs), func(ctx context.Context, i int) error {
+	err = o.forEach("experiments.select", len(specs), func(ctx context.Context, i int) error {
 		spec := specs[i]
 		bspan := span.StartSpan("experiments.select_benchmark", obs.KV("benchmark", spec.Name))
 		defer bspan.End()
@@ -233,15 +233,16 @@ func (o Options) ctx() context.Context {
 	return context.Background()
 }
 
-// forEach fans fn out over the study's worker budget. Work items must
-// be independent; result slots are written by index, so output order
+// forEach fans fn out over the study's worker budget, reporting live
+// completion under the named progress stage. Work items must be
+// independent; result slots are written by index, so output order
 // stays deterministic. The first error (by lowest index, the same one
 // a sequential loop would surface) cancels the remaining work and is
 // returned; external cancellation through Options.Ctx surfaces as the
 // context's error.
-func (o Options) forEach(n int, fn func(ctx context.Context, i int) error) error {
+func (o Options) forEach(stage string, n int, fn func(ctx context.Context, i int) error) error {
 	return parallel.ForEachOpt(o.ctx(), o.Workers, n, fn,
-		parallel.ForEachOptions{Metrics: o.Obs.Metrics()})
+		parallel.ForEachOptions{Metrics: o.Obs.Metrics(), Stage: o.Obs.Progress().Stage(stage)})
 }
 
 // SpeedupRow is one bar of Figure 3 or 4.
@@ -371,7 +372,7 @@ func (st *Study) Table2(configs []cpu.Config) (*Table2Result, error) {
 	span := st.Opts.Obs.StartSpan("experiments.table2", obs.KV("configs", len(configs)))
 	defer span.End()
 	results := make([]map[string]devs, len(st.Plans))
-	err := st.Opts.forEach(len(st.Plans), func(ctx context.Context, i int) error {
+	err := st.Opts.forEach("experiments.table2", len(st.Plans), func(ctx context.Context, i int) error {
 		pl := st.Plans[i]
 		bspan := span.StartSpan("experiments.table2_benchmark", obs.KV("benchmark", pl.Spec.Name))
 		defer bspan.End()

@@ -17,7 +17,7 @@ import (
 func TestForEachPropagatesFirstError(t *testing.T) {
 	for _, workers := range []int{1, 2, 8} {
 		o := Options{Workers: workers}
-		err := o.forEach(10, func(ctx context.Context, i int) error {
+		err := o.forEach("test.errors", 10, func(ctx context.Context, i int) error {
 			if i == 2 || i == 6 {
 				return fmt.Errorf("bench %d failed", i)
 			}
@@ -36,7 +36,7 @@ func TestForEachRespectsCancellation(t *testing.T) {
 	cancel()
 	o := Options{Workers: 2, Ctx: ctx}
 	ran := 0
-	err := o.forEach(50, func(ctx context.Context, i int) error {
+	err := o.forEach("test.cancel", 50, func(ctx context.Context, i int) error {
 		ran++
 		return nil
 	})

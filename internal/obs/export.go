@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exporter encodes one metrics snapshot onto a writer. Exporters are
+// stateless and safe for concurrent use; both implementations emit
+// deterministically ordered output (sorted metric names), so identical
+// snapshots encode to identical bytes.
+type Exporter interface {
+	// Export writes the encoded snapshot.
+	Export(w io.Writer, s Snapshot) error
+	// ContentType is the MIME type of the encoding, for HTTP export.
+	ContentType() string
+}
+
+// JSONExporter encodes snapshots as JSON (the -metrics file format).
+type JSONExporter struct {
+	// Indent, when true, pretty-prints with two-space indentation.
+	Indent bool
+}
+
+// Export implements Exporter.
+func (e JSONExporter) Export(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	if e.Indent {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(s)
+}
+
+// ContentType implements Exporter.
+func (e JSONExporter) ContentType() string { return "application/json" }
+
+// PromExporter encodes snapshots in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as summaries with p50/p90/p99 quantile samples plus _sum
+// and _count. Metric names are prefixed with Namespace and sanitized
+// (every character outside [a-zA-Z0-9_] becomes '_').
+type PromExporter struct {
+	// Namespace prefixes every metric name; empty means "mlpa".
+	Namespace string
+}
+
+// ContentType implements Exporter.
+func (e PromExporter) ContentType() string { return "text/plain; version=0.0.4" }
+
+// Export implements Exporter.
+func (e PromExporter) Export(w io.Writer, s Snapshot) error {
+	ns := e.Namespace
+	if ns == "" {
+		ns = "mlpa"
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(ns, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(ns, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(ns, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
+			return err
+		}
+		for _, q := range [...]struct {
+			label string
+			value float64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", pn, q.label, promFloat(q.value)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName prefixes and sanitizes a registry metric name.
+func promName(ns, name string) string {
+	var b strings.Builder
+	b.Grow(len(ns) + 1 + len(name))
+	b.WriteString(ns)
+	b.WriteByte('_')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus expects (shortest
+// round-trippable representation).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -17,9 +17,10 @@ import (
 // registry, a tracer, the journal sink they share, and an optional
 // progress logger. A nil *Runtime disables everything.
 type Runtime struct {
-	metrics *Registry
-	tracer  *Tracer
-	sink    Sink
+	metrics  *Registry
+	tracer   *Tracer
+	sink     Sink
+	progress *Progress
 
 	logMu sync.Mutex
 	logw  io.Writer
@@ -30,9 +31,10 @@ type Runtime struct {
 // journal records go nowhere.
 func New(sink Sink) *Runtime {
 	return &Runtime{
-		metrics: NewRegistry(),
-		tracer:  NewTracer(sink),
-		sink:    sink,
+		metrics:  NewRegistry(),
+		tracer:   NewTracer(sink),
+		sink:     sink,
+		progress: NewProgress(),
 	}
 }
 
@@ -43,6 +45,15 @@ func (r *Runtime) Metrics() *Registry {
 		return nil
 	}
 	return r.metrics
+}
+
+// Progress returns the run's per-stage progress tracker, or nil on a
+// nil runtime (a nil *Progress still hands out detached stages).
+func (r *Runtime) Progress() *Progress {
+	if r == nil {
+		return nil
+	}
+	return r.progress
 }
 
 // StartSpan opens a root span on the run's tracer. Nil-safe.

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Progress tracks per-stage completion of a run: each named Stage
+// carries a total work count and a done count that concurrent workers
+// advance. Like the rest of the package it is nil-safe — a nil
+// *Progress hands out detached stages that accept updates and register
+// nowhere — so producers (the parallel worker pool, the pipeline)
+// never branch on whether live export is enabled.
+type Progress struct {
+	mu     sync.Mutex
+	order  []string
+	stages map[string]*Stage
+}
+
+// NewProgress creates an empty progress tracker.
+func NewProgress() *Progress {
+	return &Progress{stages: make(map[string]*Stage)}
+}
+
+// Stage returns the stage registered under name, creating it on first
+// use. On a nil tracker it returns a detached stage.
+func (p *Progress) Stage(name string) *Stage {
+	if p == nil {
+		return new(Stage)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.stages[name]
+	if !ok {
+		s = &Stage{name: name}
+		p.stages[name] = s
+		p.order = append(p.order, name)
+	}
+	return s
+}
+
+// Stage is one unit of tracked work: a monotonically growing total
+// (work discovered) and a done count (work finished). Both are safe
+// for concurrent update.
+type Stage struct {
+	name  string
+	total atomic.Int64
+	done  atomic.Int64
+}
+
+// AddTotal grows the stage's expected work count by n. Nil-safe.
+func (s *Stage) AddTotal(n int64) {
+	if s == nil {
+		return
+	}
+	s.total.Add(n)
+}
+
+// Add records n completed work items. Nil-safe.
+func (s *Stage) Add(n int64) {
+	if s == nil {
+		return
+	}
+	s.done.Add(n)
+}
+
+// StageStatus is a point-in-time copy of one stage.
+type StageStatus struct {
+	Name  string  `json:"name"`
+	Total int64   `json:"total"`
+	Done  int64   `json:"done"`
+	Frac  float64 `json:"frac"`
+}
+
+// Snapshot copies every stage in first-registration order. A nil
+// tracker yields nil.
+func (p *Progress) Snapshot() []StageStatus {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]StageStatus, 0, len(p.order))
+	for _, name := range p.order {
+		s := p.stages[name]
+		st := StageStatus{Name: name, Total: s.total.Load(), Done: s.done.Load()}
+		if st.Total > 0 {
+			st.Frac = float64(st.Done) / float64(st.Total)
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -98,15 +98,43 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value returns the last recorded value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-// Histogram accumulates summary statistics of observed samples:
-// count, sum, min, max and mean. It doubles as a timer via Observe of
-// elapsed seconds (see Time).
+// Histogram bucket layout: hbuckets log2-spaced buckets, bucket i
+// covering [2^(i-hoffset), 2^(i-hoffset+1)). Samples at or below
+// 2^-hoffset (including zero and negatives) land in bucket 0, samples
+// beyond the top bound in the last bucket. The span 2^-32..2^32 covers
+// everything the pipeline observes — nanosecond timers through
+// iteration counts — with ~half-bucket (~41%) worst-case quantile
+// error, tightened by clamping to the exact observed min/max.
+const (
+	hbuckets = 64
+	hoffset  = 32
+)
+
+// Histogram accumulates summary statistics of observed samples: count,
+// sum, min, max, mean and log-bucketed quantiles. It doubles as a
+// timer via Observe of elapsed seconds (see Time).
 type Histogram struct {
-	mu    sync.Mutex
-	count int64
-	sum   float64
-	min   float64
-	max   float64
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [hbuckets]int64
+}
+
+// bucketIndex maps a sample to its log2 bucket.
+func bucketIndex(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := int(math.Floor(math.Log2(v))) + hoffset
+	if i < 0 {
+		return 0
+	}
+	if i >= hbuckets {
+		return hbuckets - 1
+	}
+	return i
 }
 
 // Observe records one sample.
@@ -120,6 +148,7 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	h.buckets[bucketIndex(v)]++
 	h.mu.Unlock()
 }
 
@@ -137,17 +166,62 @@ func (h *Histogram) Stat() HistStat {
 	s := HistStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
 	if h.count > 0 {
 		s.Mean = h.sum / float64(h.count)
+		s.P50 = h.quantileLocked(0.50)
+		s.P90 = h.quantileLocked(0.90)
+		s.P99 = h.quantileLocked(0.99)
 	}
 	return s
 }
 
-// HistStat is a point-in-time histogram summary.
+// Quantile estimates the q-quantile (0 <= q <= 1) from the log2
+// buckets, clamped to the exact observed [min, max].
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < hbuckets; i++ {
+		cum += h.buckets[i]
+		if cum >= rank {
+			// Geometric midpoint of the bucket, clamped to observed
+			// extremes so degenerate histograms stay exact.
+			v := math.Exp2(float64(i-hoffset) + 0.5)
+			if i == 0 {
+				v = h.min
+			}
+			return math.Min(math.Max(v, h.min), h.max)
+		}
+	}
+	return h.max
+}
+
+// HistStat is a point-in-time histogram summary. P50/P90/P99 are
+// log2-bucket quantile estimates (see Histogram.Quantile).
 type HistStat struct {
 	Count int64   `json:"count"`
 	Sum   float64 `json:"sum"`
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
 }
 
 // Snapshot is a point-in-time copy of every registered metric. Its
@@ -194,4 +268,59 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())
+}
+
+// DeltaSince returns the change from prev to s: counters are
+// subtracted (a counter absent from prev contributes its full value),
+// histogram count/sum are subtracted with the remaining summary fields
+// carried over cumulatively, and gauges — last-value-wins by nature —
+// report only entries whose value changed. Entries that did not change
+// are omitted entirely, so a quiet interval yields an Empty delta.
+// Two snapshots of the same registry taken in order always yield
+// non-negative counter deltas.
+func (s Snapshot) DeltaSince(prev Snapshot) Snapshot {
+	var d Snapshot
+	for name, v := range s.Counters {
+		dv := v - prev.Counters[name]
+		if dv == 0 {
+			continue
+		}
+		if d.Counters == nil {
+			d.Counters = make(map[string]int64, len(s.Counters))
+		}
+		d.Counters[name] = dv
+	}
+	for name, v := range s.Gauges {
+		pv, ok := prev.Gauges[name]
+		if ok && pv == v {
+			continue
+		}
+		if d.Gauges == nil {
+			d.Gauges = make(map[string]float64, len(s.Gauges))
+		}
+		d.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p := prev.Histograms[name]
+		h.Count -= p.Count
+		h.Sum -= p.Sum
+		if h.Count == 0 && h.Sum == 0 {
+			continue
+		}
+		if h.Count > 0 {
+			h.Mean = h.Sum / float64(h.Count)
+		} else {
+			h.Mean = 0
+		}
+		if d.Histograms == nil {
+			d.Histograms = make(map[string]HistStat, len(s.Histograms))
+		}
+		d.Histograms[name] = h
+	}
+	return d
+}
+
+// Empty reports whether the snapshot carries no metrics at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
 }

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler returns the live-export mux for a run:
+//
+//	/metrics        metrics snapshot — Prometheus text by default,
+//	                ?format=json for the JSON encoding, ?delta=1 for
+//	                the change since this handler's previous ?delta
+//	                scrape (counters and histogram count/sum)
+//	/progress       per-stage completion as a JSON array of
+//	                {name,total,done,frac}, first-registration order
+//	/debug/pprof/*  the standard Go profiling endpoints
+//	/               a plain-text index of the above
+//
+// The handler only reads atomic snapshots of the registry and progress
+// tracker; serving it concurrently with a run never perturbs results.
+// Nil-safe: on a nil runtime every endpoint serves empty data.
+func Handler(rt *Runtime) http.Handler {
+	mux := http.NewServeMux()
+	var deltaMu sync.Mutex
+	var deltaPrev Snapshot
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := rt.Metrics().Snapshot()
+		if r.URL.Query().Get("delta") != "" {
+			deltaMu.Lock()
+			snap, deltaPrev = snap.DeltaSince(deltaPrev), snap
+			deltaMu.Unlock()
+		}
+		var exp Exporter = PromExporter{}
+		if r.URL.Query().Get("format") == "json" {
+			exp = JSONExporter{Indent: true}
+		}
+		w.Header().Set("Content-Type", exp.ContentType())
+		if err := exp.Export(w, snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		stages := rt.Progress().Snapshot()
+		if stages == nil {
+			stages = []StageStatus{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stages); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "mlpa live export\n\n/metrics\n/metrics?format=json\n/metrics?delta=1\n/progress\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running live-export listener started by Serve.
+type Server struct {
+	ln   net.Listener
+	done chan struct{}
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the listener and waits for the serve loop to exit.
+// In-flight requests are not drained; this is a diagnostics endpoint,
+// not a production API.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	<-s.done
+	return err
+}
+
+// Serve binds addr and serves Handler(rt) until Close. It is the
+// repository's single sanctioned HTTP listener setup: everything that
+// wants a diagnostics endpoint goes through it, so the surface stays
+// uniform and the mlpalint http-listen rule can forbid ad-hoc
+// listeners everywhere else.
+func Serve(addr string, rt *Runtime) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: serve %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		// Serve returns with an error once the listener closes; that is
+		// the normal shutdown path, so the error is discarded.
+		_ = http.Serve(ln, Handler(rt))
+	}()
+	return s, nil
+}

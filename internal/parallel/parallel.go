@@ -28,6 +28,11 @@ type ForEachOptions struct {
 	// parallel.utilization (mean fraction of pool wall time spent
 	// inside fn) and histogram parallel.task_seconds.
 	Metrics *obs.Registry
+	// Stage, when non-nil, receives live fan-out progress: the pool
+	// grows the stage's total by n up front and marks one item done per
+	// completed fn call, so /progress shows the run mid-flight. A nil
+	// Stage (including one from a nil tracker) costs nothing.
+	Stage *obs.Stage
 }
 
 // ForEach runs fn(ctx, i) for every i in [0, n) on up to workers
@@ -68,6 +73,7 @@ func ForEachOpt(ctx context.Context, workers, n int, fn func(ctx context.Context
 	}
 	reg := opt.Metrics
 	reg.Gauge("parallel.workers").Set(float64(workers))
+	opt.Stage.AddTotal(int64(n))
 
 	if workers == 1 {
 		for i := 0; i < n; i++ {
@@ -79,6 +85,7 @@ func ForEachOpt(ctx context.Context, workers, n int, fn func(ctx context.Context
 				return err
 			}
 			reg.Counter("parallel.tasks_done").Inc()
+			opt.Stage.Add(1)
 		}
 		return nil
 	}
@@ -128,6 +135,7 @@ func ForEachOpt(ctx context.Context, workers, n int, fn func(ctx context.Context
 					return
 				}
 				reg.Counter("parallel.tasks_done").Inc()
+				opt.Stage.Add(1)
 			}
 		}()
 	}

@@ -440,7 +440,7 @@ func executePoints(ctx context.Context, p *prog.Program, plan *sampling.Plan, cf
 		}
 		recs[pi] = rec
 		return nil
-	}, parallel.ForEachOptions{Metrics: reg})
+	}, parallel.ForEachOptions{Metrics: reg, Stage: opts.Obs.Progress().Stage("pipeline.points")})
 }
 
 // journalPoint emits one per-point journal record. The record carries
