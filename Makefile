@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzAssembleRoundTrip -fuzztime=$(FUZZTIME) ./internal/prog/
 	$(GO) test -fuzz=FuzzVerify -fuzztime=$(FUZZTIME) ./internal/staticanalysis/
 	$(GO) test -fuzz=FuzzRunVsStep -fuzztime=$(FUZZTIME) ./internal/emu/
+	$(GO) test -fuzz=FuzzLiveness -fuzztime=$(FUZZTIME) ./internal/staticanalysis/dataflow/
 
 ## bench: machine-readable perf/accuracy snapshot (BENCH_<date>.json).
 bench:

@@ -8,16 +8,22 @@ import (
 
 	"mlpa/internal/bench"
 	"mlpa/internal/emu"
+	"mlpa/internal/isa"
 	"mlpa/internal/prog"
 	"mlpa/internal/staticanalysis"
+	"mlpa/internal/staticanalysis/dataflow"
 )
 
 // runAnalyze implements `mlpa analyze`: print the verifier report, CFG,
 // dominator tree, and natural-loop forest for a suite benchmark
 // (-bench) or an assembly file given as a positional argument. With
-// -dynamic it also runs the loop profiler and cross-checks every
-// dynamically-observed structure against the static forest, which is
-// the same comparison COASTS journals during boundary collection.
+// -dataflow it additionally prints the register dataflow solution
+// (per-block live sets, statically-dead writes, the whole-program
+// region summary) and cross-checks the static model against the
+// emulator's predecoded register slots. With -dynamic it also runs the
+// loop profiler and cross-checks every dynamically-observed structure
+// against the static forest, which is the same comparison COASTS
+// journals during boundary collection.
 func runAnalyze(f *flags) error {
 	p, err := analyzeTarget(f)
 	if err != nil {
@@ -36,10 +42,82 @@ func runAnalyze(f *flags) error {
 		// status so scripts can gate on it.
 		return fmt.Errorf("verification failed: %d diagnostic(s)", len(a.Report.Diags))
 	}
+	if f.dataflow {
+		rep, err := dataflowReport(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+	}
 	if f.dynamic {
 		return analyzeDynamic(p, a)
 	}
 	return nil
+}
+
+// dataflowReport renders the register dataflow solution: per-block
+// live/gen/kill sets with memory flags, the statically-dead writes, a
+// whole-program region summary, and the result of cross-checking the
+// static model against the emulator's predecoded register slots. It
+// returns an error — failing the command — if the cross-check finds a
+// disagreement between the two models.
+func dataflowReport(p *prog.Program) (string, error) {
+	d := dataflow.For(p)
+	var sb strings.Builder
+	sb.WriteString("\nDataflow:\n")
+	for id := range d.CFG.Blocks {
+		start, end := d.BlockRange(id)
+		mem := ""
+		if d.Loads[id] {
+			mem += "L"
+		}
+		if d.Stores[id] {
+			mem += "S"
+		}
+		if mem != "" {
+			mem = " mem=" + mem
+		}
+		note := ""
+		if !d.CFG.Reachable[id] {
+			note = " (unreachable)"
+		}
+		fmt.Fprintf(&sb, "  B%d [%d,%d): liveIn=%s liveOut=%s gen=%s kill=%s%s%s\n",
+			id, start, end, d.LiveIn[id], d.LiveOut[id], d.Gen[id], d.Kill[id], mem, note)
+	}
+	dead := d.DeadWrites()
+	if len(dead) == 0 {
+		sb.WriteString("  dead writes: none\n")
+	} else {
+		fmt.Fprintf(&sb, "  dead writes: %d\n", len(dead))
+		for _, dw := range dead {
+			fmt.Fprintf(&sb, "    pc %d: %s  %s\n", dw.PC, dw.Reg, p.Code[dw.PC])
+		}
+	}
+	if halt := firstHalt(p); halt > 0 {
+		rs, err := d.RegionSummary(0, halt)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "  region [0,%d): liveIn=%s memLiveIn=%v defs=%s blocks=%d insts=%d\n",
+			halt, rs.LiveIn, rs.LiveInMem, rs.Defs, len(rs.Blocks), rs.Insts)
+	}
+	fmt.Fprintf(&sb, "  def sites: %d\n", len(d.Reach.Sites))
+	if err := emu.CrossCheckDataflow(p); err != nil {
+		return "", fmt.Errorf("predecode cross-check: %w", err)
+	}
+	sb.WriteString("  predecode cross-check: ok\n")
+	return sb.String(), nil
+}
+
+// firstHalt returns the PC of the program's first halt instruction, or
+// 0 if there is none (or it is the entry instruction).
+func firstHalt(p *prog.Program) int64 {
+	for pc, in := range p.Code {
+		if in.Op == isa.OpHalt {
+			return int64(pc)
+		}
+	}
+	return 0
 }
 
 // analyzeTarget resolves the program to analyze: a positional .s file

@@ -197,10 +197,25 @@ func printEstimates(estimates, points []obs.Record) {
 		}
 		fmt.Print(t.String())
 	}
-	// Point groups with no matching estimate (aborted runs) still print.
-	for k, pts := range grouped {
+	// Point groups with no matching estimate (aborted runs) still print,
+	// in sorted key order so the report is reproducible.
+	orphans := make([]key, 0, len(grouped))
+	for k := range grouped {
+		orphans = append(orphans, k)
+	}
+	sort.Slice(orphans, func(i, j int) bool {
+		a, b := orphans[i], orphans[j]
+		if a.bench != b.bench {
+			return a.bench < b.bench
+		}
+		if a.method != b.method {
+			return a.method < b.method
+		}
+		return a.cfg < b.cfg
+	})
+	for _, k := range orphans {
 		fmt.Printf("\n%d point records for %s/%s config %s with no estimate record (run aborted?)\n",
-			len(pts), k.bench, k.method, k.cfg)
+			len(grouped[k]), k.bench, k.method, k.cfg)
 	}
 }
 

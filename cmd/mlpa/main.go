@@ -13,6 +13,7 @@
 //	mlpa bench -compare old.json new.json  gate on significant perf regressions
 //	mlpa inspect <run.jsonl>        render a recorded run journal
 //	mlpa analyze [-bench name | file.s] static analysis: verifier, CFG, dominators, loops
+//	mlpa analyze -dataflow ...      add liveness/reaching-defs: live sets, dead writes
 //	mlpa all                        figures and tables above
 //
 // Shared flags: -size tiny|small|ref, -seed N, -benchmarks a,b,c,
@@ -71,6 +72,7 @@ type flags struct {
 	method     string
 	dir        string
 	dynamic    bool
+	dataflow   bool
 	workers    int
 
 	// Observability surface.
@@ -109,6 +111,7 @@ func parseFlags(cmd string, args []string) (*flags, error) {
 	fs.StringVar(&f.method, "method", "multilevel", "sampling method for checkpoint: coasts, simpoint or multilevel")
 	fs.StringVar(&f.dir, "dir", "", "directory to persist checkpoint files (checkpoint command)")
 	fs.BoolVar(&f.dynamic, "dynamic", false, "analyze: also profile dynamically and cross-check against the static forest")
+	fs.BoolVar(&f.dataflow, "dataflow", false, "analyze: print per-block live sets, statically-dead writes and the predecode cross-check")
 	fs.IntVar(&f.workers, "workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = sequential; results are identical for every value)")
 	fs.StringVar(&f.journal, "journal", "", "write a JSONL run journal to this file (see `mlpa inspect`)")
 	fs.StringVar(&f.metrics, "metrics", "", "write a JSON metrics-registry snapshot to this file on exit")

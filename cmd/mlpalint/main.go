@@ -14,6 +14,15 @@
 //     http.Serve, net.Listen, ...) outside internal/obs; live
 //     telemetry must go through obs.Serve so every endpoint gets the
 //     same handler, lifecycle and shutdown behaviour.
+//   - map-range-order: no `range` over a map whose body writes output
+//     (fmt printing, journal Emit, Write*) — map iteration order is
+//     random, so such loops make journals and reports
+//     non-reproducible. Iterate a sorted key slice instead.
+//
+// Rule scoping is by package directory relative to the module root
+// (located by walking up from the lint root to the nearest go.mod), so
+// linting the repository root, `internal/`, or a single package
+// subtree applies exactly the same rules to every file.
 //
 // A site that is legitimately exceptional carries a
 // `//mlpalint:allow <rule>` comment on the same line or the line
@@ -62,6 +71,38 @@ var deterministicPkgs = map[string]bool{
 	"internal/kmeans": true,
 }
 
+// rule is one lint rule: its name (as used by `//mlpalint:allow`) and
+// the package-directory scope it applies to. The check logic itself
+// lives in lintFile; the table keeps name->scope in one place so every
+// rule is scoped the same way.
+type rule struct {
+	name      string
+	appliesTo func(dir string) bool
+}
+
+func isDeterministicPkg(dir string) bool { return deterministicPkgs[dir] }
+
+func isLibraryPkg(dir string) bool {
+	return dir == "internal" || strings.HasPrefix(dir, "internal/")
+}
+
+// internal/obs owns the repository's one sanctioned listener setup
+// (obs.Serve); everywhere else the http-listen rule applies.
+func outsideObs(dir string) bool { return dir != "internal/obs" }
+
+func everywhere(string) bool { return true }
+
+// rules is the rule table. Scopes are module-relative package
+// directories, so cmd/ and internal/ are linted uniformly no matter
+// which subtree the command is pointed at.
+var rules = []rule{
+	{"time-now", isDeterministicPkg},
+	{"unseeded-rand", isDeterministicPkg},
+	{"panic", isLibraryPkg},
+	{"http-listen", outsideObs},
+	{"map-range-order", everywhere},
+}
+
 // unseededRandFuncs are the math/rand package-level functions that
 // draw from the implicitly-seeded global source.
 var unseededRandFuncs = map[string]bool{
@@ -82,19 +123,54 @@ var netListenFuncs = map[string]bool{
 	"Listen": true, "ListenTCP": true, "ListenUnix": true, "ListenPacket": true,
 }
 
+// orderedWriteFuncs are method names whose call inside a map-range body
+// marks the loop as emitting ordered output: fmt-style printing,
+// journal emission and stream writes.
+var orderedWriteFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Emit": true, "Write": true, "WriteString": true,
+	"WriteByte": true, "WriteRune": true, "AddRow": true,
+}
+
 // Finding is one rule violation.
 type Finding struct {
-	File string // path relative to the lint root
+	File string // path relative to the module root (or lint root without a go.mod)
 	Line int
 	Rule string
 	Msg  string
 }
 
+// moduleRoot walks up from root looking for a go.mod, so rule scoping
+// is always computed against module-relative package directories no
+// matter which subtree is linted. Without a go.mod (test fixtures,
+// stray trees) the lint root itself anchors the paths.
+func moduleRoot(root string) (string, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return "", err
+	}
+	for dir := abs; ; {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return abs, nil
+		}
+		dir = parent
+	}
+}
+
 // lint walks root and applies every rule to the non-test Go sources,
 // returning findings sorted by file and line.
 func lint(root string) ([]Finding, error) {
+	modRoot, err := moduleRoot(root)
+	if err != nil {
+		return nil, err
+	}
 	var findings []Finding
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -107,11 +183,15 @@ func lint(root string) ([]Finding, error) {
 		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
 			return nil
 		}
-		rel, err := filepath.Rel(root, path)
+		abs, err := filepath.Abs(path)
 		if err != nil {
 			return err
 		}
-		fs, err := lintFile(path, rel)
+		rel, err := filepath.Rel(modRoot, abs)
+		if err != nil {
+			return err
+		}
+		fs, err := lintFile(path, filepath.ToSlash(rel))
 		if err != nil {
 			return err
 		}
@@ -130,16 +210,18 @@ func lint(root string) ([]Finding, error) {
 	return findings, nil
 }
 
-// lintFile parses one source file and applies the rules that its
-// package location activates.
+// lintFile parses one source file and applies the rules the table
+// activates for its module-relative package directory.
 func lintFile(path, rel string) ([]Finding, error) {
 	dir := filepath.ToSlash(filepath.Dir(rel))
-	deterministic := deterministicPkgs[dir]
-	library := dir == "internal" || strings.HasPrefix(dir, "internal/")
-	// internal/obs owns the repository's one sanctioned listener setup
-	// (obs.Serve); everywhere else the http-listen rule applies.
-	listenChecked := dir != "internal/obs"
-	if !deterministic && !library && !listenChecked {
+	active := map[string]bool{}
+	anyActive := false
+	for _, r := range rules {
+		on := r.appliesTo(dir)
+		active[r.name] = on
+		anyActive = anyActive || on
+	}
+	if !anyActive {
 		return nil, nil
 	}
 
@@ -155,6 +237,9 @@ func lintFile(path, rel string) ([]Finding, error) {
 
 	var findings []Finding
 	report := func(pos token.Pos, rule, msg string) {
+		if !active[rule] {
+			return
+		}
 		line := fset.Position(pos).Line
 		if allowed[rule][line] {
 			return
@@ -169,42 +254,131 @@ func lintFile(path, rel string) ([]Finding, error) {
 		}
 		mustFunc := ok && strings.HasPrefix(fn.Name.Name, "Must")
 		ast.Inspect(decl, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			switch fun := call.Fun.(type) {
-			case *ast.Ident:
-				if library && fun.Name == "panic" && !mustFunc {
-					report(call.Pos(), "panic",
-						"panic in a library package; return an error (Must* wrappers are exempt)")
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if rangeSubjectIsMap(n) && bodyWritesOutput(n.Body) {
+					report(n.Pos(), "map-range-order",
+						"range over a map with output writes in the body; map order is random — iterate sorted keys")
 				}
-			case *ast.SelectorExpr:
-				pkg, ok := fun.X.(*ast.Ident)
-				if !ok || pkg.Obj != nil { // shadowed by a local identifier
-					return true
-				}
-				if deterministic && pkg.Name == "time" && fun.Sel.Name == "Now" {
-					report(call.Pos(), "time-now",
-						"wall-clock read in a deterministic simulation package")
-				}
-				if deterministic && pkg.Name == randName && unseededRandFuncs[fun.Sel.Name] {
-					report(call.Pos(), "unseeded-rand",
-						fmt.Sprintf("global rand.%s in a deterministic package; use a seeded *rand.Rand", fun.Sel.Name))
-				}
-				if listenChecked && httpName != "" && pkg.Name == httpName && httpListenFuncs[fun.Sel.Name] {
-					report(call.Pos(), "http-listen",
-						fmt.Sprintf("direct http.%s outside internal/obs; serve telemetry through obs.Serve", fun.Sel.Name))
-				}
-				if listenChecked && netName != "" && pkg.Name == netName && netListenFuncs[fun.Sel.Name] {
-					report(call.Pos(), "http-listen",
-						fmt.Sprintf("direct net.%s outside internal/obs; serve telemetry through obs.Serve", fun.Sel.Name))
+			case *ast.CallExpr:
+				switch fun := n.Fun.(type) {
+				case *ast.Ident:
+					if fun.Name == "panic" && !mustFunc {
+						report(n.Pos(), "panic",
+							"panic in a library package; return an error (Must* wrappers are exempt)")
+					}
+				case *ast.SelectorExpr:
+					pkg, ok := fun.X.(*ast.Ident)
+					if !ok || pkg.Obj != nil { // shadowed by a local identifier
+						return true
+					}
+					if pkg.Name == "time" && fun.Sel.Name == "Now" {
+						report(n.Pos(), "time-now",
+							"wall-clock read in a deterministic simulation package")
+					}
+					if randName != "" && pkg.Name == randName && unseededRandFuncs[fun.Sel.Name] {
+						report(n.Pos(), "unseeded-rand",
+							fmt.Sprintf("global rand.%s in a deterministic package; use a seeded *rand.Rand", fun.Sel.Name))
+					}
+					if httpName != "" && pkg.Name == httpName && httpListenFuncs[fun.Sel.Name] {
+						report(n.Pos(), "http-listen",
+							fmt.Sprintf("direct http.%s outside internal/obs; serve telemetry through obs.Serve", fun.Sel.Name))
+					}
+					if netName != "" && pkg.Name == netName && netListenFuncs[fun.Sel.Name] {
+						report(n.Pos(), "http-listen",
+							fmt.Sprintf("direct net.%s outside internal/obs; serve telemetry through obs.Serve", fun.Sel.Name))
+					}
 				}
 			}
 			return true
 		})
 	}
 	return findings, nil
+}
+
+// rangeSubjectIsMap reports whether the range statement iterates a
+// value the single-file AST can prove is a map: a map composite
+// literal, or an identifier declared with a map type, a map literal or
+// make(map[...]...). Calls and cross-file identifiers are not
+// resolvable without type information and pass.
+func rangeSubjectIsMap(rs *ast.RangeStmt) bool {
+	switch x := ast.Unparen(rs.X).(type) {
+	case *ast.CompositeLit:
+		_, ok := x.Type.(*ast.MapType)
+		return ok
+	case *ast.Ident:
+		return identIsMap(x)
+	}
+	return false
+}
+
+// identIsMap inspects the identifier's declaration site.
+func identIsMap(id *ast.Ident) bool {
+	if id.Obj == nil {
+		return false
+	}
+	switch decl := id.Obj.Decl.(type) {
+	case *ast.ValueSpec:
+		if decl.Type != nil {
+			_, ok := decl.Type.(*ast.MapType)
+			return ok
+		}
+		for i, name := range decl.Names {
+			if name.Name == id.Name && i < len(decl.Values) {
+				return exprIsMap(decl.Values[i])
+			}
+		}
+	case *ast.AssignStmt:
+		if len(decl.Lhs) != len(decl.Rhs) {
+			return false // multi-value unpacking: unresolvable
+		}
+		for i, lhs := range decl.Lhs {
+			if l, ok := lhs.(*ast.Ident); ok && l.Name == id.Name {
+				return exprIsMap(decl.Rhs[i])
+			}
+		}
+	case *ast.Field:
+		_, ok := decl.Type.(*ast.MapType)
+		return ok
+	}
+	return false
+}
+
+// exprIsMap reports whether an initializer expression evidently builds
+// a map.
+func exprIsMap(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		_, ok := v.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if fn, ok := v.Fun.(*ast.Ident); ok && fn.Name == "make" && len(v.Args) > 0 {
+			_, ok := v.Args[0].(*ast.MapType)
+			return ok
+		}
+	}
+	return false
+}
+
+// bodyWritesOutput reports whether the loop body contains a call that
+// emits ordered output (printing, journal emission, stream writes).
+func bodyWritesOutput(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && orderedWriteFuncs[sel.Sel.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // allowDirectives collects `//mlpalint:allow <rule>` comments; each

@@ -221,3 +221,210 @@ func TestLintRepoClean(t *testing.T) {
 		t.Errorf("repo has lint findings: %v", keys(fs))
 	}
 }
+
+// TestLintMapRangeOrderRule: ranging over a map while writing output is
+// flagged; order-insensitive map loops and slice loops pass.
+func TestLintMapRangeOrderRule(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // expected finding keys within internal/foo/f.go
+	}{
+		{
+			name: "map_var_printf",
+			src: `package foo
+
+import "fmt"
+
+func Bad(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`,
+			want: []string{"internal/foo/f.go:6:map-range-order"},
+		},
+		{
+			name: "map_literal_emit",
+			src: `package foo
+
+type journal struct{}
+
+func (journal) Emit(string, any) {}
+
+func Bad(j journal) {
+	for k, v := range map[string]int{"a": 1} {
+		j.Emit(k, v)
+	}
+}
+`,
+			want: []string{"internal/foo/f.go:8:map-range-order"},
+		},
+		{
+			name: "make_map_writestring",
+			src: `package foo
+
+import "strings"
+
+func Bad() string {
+	var sb strings.Builder
+	m := make(map[int]string)
+	for _, v := range m {
+		sb.WriteString(v)
+	}
+	return sb.String()
+}
+`,
+			want: []string{"internal/foo/f.go:8:map-range-order"},
+		},
+		{
+			name: "map_decl_addrow",
+			src: `package foo
+
+type table struct{}
+
+func (table) AddRow(...string) {}
+
+func Bad(t table) {
+	var m map[string]string
+	for k := range m {
+		t.AddRow(k)
+	}
+}
+`,
+			want: []string{"internal/foo/f.go:9:map-range-order"},
+		},
+		{
+			name: "accumulation_passes",
+			src: `package foo
+
+func Good(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+`,
+		},
+		{
+			name: "slice_range_passes",
+			src: `package foo
+
+import "fmt"
+
+func Good(s []int) {
+	for _, v := range s {
+		fmt.Println(v)
+	}
+}
+`,
+		},
+		{
+			name: "sorted_keys_passes",
+			src: `package foo
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Good(m map[string]int) {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		fmt.Println(k, m[k])
+	}
+}
+`,
+		},
+		{
+			name: "allow_directive",
+			src: `package foo
+
+import "fmt"
+
+func Exempt(m map[string]int) {
+	//mlpalint:allow map-range-order (order-insensitive debug dump)
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := writeTree(t, map[string]string{"internal/foo/f.go": tc.src})
+			fs, err := lint(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := keys(fs)
+			if len(got) != len(tc.want) {
+				t.Fatalf("findings = %v, want %v", got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Errorf("finding %d = %s, want %s", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestLintSubdirScoping: pointing the linter at a package subtree must
+// apply the same module-relative rule scoping as linting the module
+// root — a go.mod above the lint root anchors the package paths.
+func TestLintSubdirScoping(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/emu/a.go": `package emu
+
+import "time"
+
+func bad() int64 { return time.Now().Unix() }
+`,
+		"cmd/tool/main.go": `package main
+
+import "net/http"
+
+func main() { _ = http.ListenAndServe(":8080", nil) }
+`,
+	})
+	for _, sub := range []string{".", "internal", "internal/emu"} {
+		fs, err := lint(filepath.Join(root, sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, k := range keys(fs) {
+			if k == "internal/emu/a.go:5:time-now" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("lint %q: time-now finding missing: %v", sub, keys(fs))
+		}
+	}
+	// cmd/ is scoped identically: the http-listen finding fires whether
+	// the whole tree or just cmd/ is linted.
+	for _, sub := range []string{".", "cmd"} {
+		fs, err := lint(filepath.Join(root, sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, k := range keys(fs) {
+			if k == "cmd/tool/main.go:5:http-listen" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("lint %q: http-listen finding missing: %v", sub, keys(fs))
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package emu
+
+import (
+	"strings"
+	"testing"
+
+	"mlpa/internal/isa"
+	"mlpa/internal/prog"
+)
+
+func TestCrossCheckDataflowExamples(t *testing.T) {
+	for _, p := range prog.Examples() {
+		if err := CrossCheckDataflow(p); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestCrossCheckDataflowCrossNamespace(t *testing.T) {
+	// Hand-built programs whose operands name the "wrong" register
+	// file: the machine folds sources and discards mismatched
+	// destinations, and both models must agree on the result.
+	ps := []*prog.Program{
+		{Name: "discard_int", Code: []isa.Inst{
+			{Op: isa.OpAdd, Rd: isa.F(3), Rs1: 1, Rs2: 2},
+			{Op: isa.OpAddi, Rd: 0, Rs1: 1, Imm: 4},
+			{Op: isa.OpLd, Rd: isa.F(7), Rs1: 1},
+			{Op: isa.OpHalt},
+		}},
+		{Name: "discard_fp", Code: []isa.Inst{
+			{Op: isa.OpFadd, Rd: 1, Rs1: 5, Rs2: 6},
+			{Op: isa.OpFld, Rd: 2, Rs1: 1},
+			{Op: isa.OpFmov, Rd: 4, Rs1: isa.F(9)},
+			{Op: isa.OpHalt},
+		}},
+		{Name: "fold_sources", Code: []isa.Inst{
+			{Op: isa.OpAdd, Rd: 3, Rs1: isa.F(5), Rs2: 2},
+			{Op: isa.OpFadd, Rd: isa.F(1), Rs1: 5, Rs2: 6},
+			{Op: isa.OpFst, Rs1: isa.F(4), Rs2: 8},
+			{Op: isa.OpCvtIF, Rd: 9, Rs1: isa.F(2)},
+			{Op: isa.OpJal, Rd: isa.F(6), Targ: 5},
+			{Op: isa.OpHalt},
+		}},
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := CrossCheckDataflow(p); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestCrossCheckDataflowSkipsInvalidOpcodes(t *testing.T) {
+	p := &prog.Program{Name: "invalid", Code: []isa.Inst{
+		{Op: isa.OpAddi, Rd: 1, Rs1: 0, Imm: 1},
+		{Op: isa.Op(200)},
+		{Op: isa.OpHalt},
+	}}
+	if err := CrossCheckDataflow(p); err != nil {
+		t.Fatalf("invalid opcodes should be skipped, got %v", err)
+	}
+}
+
+func TestCrossCheckDataflowDetectsSlotDrift(t *testing.T) {
+	p := &prog.Program{Name: "drift", Code: []isa.Inst{
+		{Op: isa.OpAdd, Rd: 3, Rs1: 1, Rs2: 2},
+		{Op: isa.OpHalt},
+	}}
+	dec := predecode(p)
+	saved := dec.code[0]
+	defer func() { dec.code[0] = saved }()
+
+	// Reroute the destination to the sink, as if the predecoder had
+	// wrongly discarded the write.
+	dec.code[0].rd = intSink
+	err := CrossCheckDataflow(p)
+	if err == nil || !strings.Contains(err.Error(), "pc 0") {
+		t.Fatalf("slot drift not detected: %v", err)
+	}
+
+	// Misfold a source register.
+	dec.code[0] = saved
+	dec.code[0].rs1 = 7
+	if err := CrossCheckDataflow(p); err == nil {
+		t.Fatal("source drift not detected")
+	}
+}

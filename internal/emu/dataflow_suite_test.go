@@ -1,0 +1,22 @@
+package emu_test
+
+import (
+	"testing"
+
+	"mlpa/internal/bench"
+	"mlpa/internal/emu"
+)
+
+// TestCrossCheckDataflowBenchSuite runs the predecode/static-model
+// differential validator over every generated benchmark program.
+func TestCrossCheckDataflowBenchSuite(t *testing.T) {
+	for _, spec := range bench.Suite() {
+		p, err := spec.Program(bench.SizeTiny)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if err := emu.CrossCheckDataflow(p); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}

@@ -24,6 +24,12 @@ type Checkpoints struct {
 	// was taken; the replay uses them as detailed lead-in so the
 	// measured region starts with a filled pipeline.
 	Leads []uint64
+	// LiveIns[i] is the static live-in summary at checkpoint i's save
+	// position: the registers (and whether memory) the replay may read
+	// before writing. It is the portable-checkpoint storage schema —
+	// a producer only needs to capture the state inside the masks —
+	// and the replay verifies it by scrubbing everything outside them.
+	LiveIns []sampling.LiveIn
 }
 
 // ckptLeadIn is the detailed lead-in budget each checkpoint carries.
@@ -58,8 +64,13 @@ func MakeCheckpoints(p *prog.Program, plan *sampling.Plan) (*Checkpoints, error)
 		if err := m.SaveCheckpoint(&buf); err != nil {
 			return nil, err
 		}
+		livein, err := boundaryLiveIn(m)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: checkpoint live-in: %w", err)
+		}
 		ck.States = append(ck.States, buf.Bytes())
 		ck.Leads = append(ck.Leads, lead)
+		ck.LiveIns = append(ck.LiveIns, livein)
 		// Execute through the point so the next checkpoint's prefix
 		// continues from here.
 		if _, err := m.Run(lead + pt.Len()); err != nil {
@@ -97,6 +108,18 @@ func ExecuteFromCheckpoints(p *prog.Program, ck *Checkpoints, cfg cpu.Config) (*
 		}
 		if m.Insts+ck.Leads[i] != pt.Start {
 			return nil, fmt.Errorf("pipeline: checkpoint %d at instruction %d, point starts at %d (lead %d)", i, m.Insts, pt.Start, ck.Leads[i])
+		}
+		if len(ck.LiveIns) == len(plan.Points) {
+			// Checkpoints carrying live-in metadata replay through it:
+			// scrub every register outside the masks, so any
+			// under-approximation in the static analysis (or a stale
+			// mask) surfaces as a hard divergence in the equivalence
+			// tests instead of silently reading unportable state.
+			li := ck.LiveIns[i]
+			if li.PC != m.PC {
+				return nil, fmt.Errorf("pipeline: checkpoint %d live-in recorded at pc %d, state restores to pc %d", i, li.PC, m.PC)
+			}
+			scrubDeadRegs(m, li)
 		}
 		sim, err := cpu.New(cfg)
 		if err != nil {

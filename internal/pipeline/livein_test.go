@@ -1,0 +1,161 @@
+package pipeline
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mlpa/internal/bench"
+	"mlpa/internal/config"
+	"mlpa/internal/obs"
+	"mlpa/internal/simpoint"
+	"mlpa/internal/staticanalysis/dataflow"
+)
+
+// TestScrubDeadRegsSoundness is the execution-based soundness harness
+// for the static live-in sets, run over the full builder suite: at
+// every selected simulation point's boundary, clearing each register
+// NOT in the static live-in set must leave the sampled simulation
+// bit-identical — same estimates, same per-point metrics, same journal
+// stream (wall-clock fields excepted). Run with -race in CI.
+func TestScrubDeadRegsSoundness(t *testing.T) {
+	cfg := config.BaseA()
+	for _, spec := range bench.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			p := spec.MustProgram(bench.SizeTiny)
+			plan, _, _, err := simpoint.Select(p, simpoint.Config{
+				IntervalLen: bench.FineInterval(bench.SizeTiny), Kmax: 8, Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(scrub bool) (*Estimate, []map[string]any) {
+				t.Helper()
+				var buf bytes.Buffer
+				sink := obs.NewJSONLSink(&buf)
+				est, err := ExecutePlan(p, plan, cfg, ExecOptions{
+					Warmup:        2000,
+					DetailLeadIn:  256,
+					RunAhead:      128,
+					Workers:       4,
+					Obs:           obs.New(sink),
+					ScrubDeadRegs: scrub,
+				})
+				if err != nil {
+					t.Fatalf("scrub=%v: %v", scrub, err)
+				}
+				if err := sink.Err(); err != nil {
+					t.Fatal(err)
+				}
+				return stripWall(est), journalSkeleton(t, &buf)
+			}
+			refEst, refJournal := run(false)
+			scrubEst, scrubJournal := run(true)
+			if !reflect.DeepEqual(refEst, scrubEst) {
+				t.Errorf("scrubbing statically-dead registers changed the estimate:\n got %s\nwant %s",
+					dumpEstimate(scrubEst), dumpEstimate(refEst))
+			}
+			if !reflect.DeepEqual(refJournal, scrubJournal) {
+				t.Error("scrubbing statically-dead registers changed the journal stream")
+			}
+			// Every point must carry a live-in summary for its boundary.
+			for i, rec := range refEst.PointRecords {
+				if rec.LiveIn.PC < 0 || rec.LiveIn.PC >= int64(len(p.Code)) {
+					t.Fatalf("point %d: live-in pc %d out of range", i, rec.LiveIn.PC)
+				}
+				if dataflow.FromMasks(rec.LiveIn.Int, rec.LiveIn.FP)&^dataflow.AllRegs != 0 {
+					t.Fatalf("point %d: live-in masks set the r0 bit", i)
+				}
+			}
+		})
+	}
+}
+
+// TestStaticLiveinJournaled: the journal stream carries one
+// static_livein record per point, keyed like the point records and
+// consistent with the estimate's live-in summaries.
+func TestStaticLiveinJournaled(t *testing.T) {
+	p := phasedProgram(t, 20)
+	plan, _, _, err := simpoint.Select(p, simpoint.Config{IntervalLen: 1000, Kmax: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	est, err := ExecutePlan(p, plan, config.BaseA(), ExecOptions{Workers: 2, Obs: obs.New(sink)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var livein []map[string]any
+	for _, rec := range recs {
+		if ev, _ := rec["ev"].(string); ev == "static_livein" {
+			livein = append(livein, rec)
+		}
+	}
+	if len(livein) != len(est.PointRecords) {
+		t.Fatalf("%d static_livein records for %d points", len(livein), len(est.PointRecords))
+	}
+	for i, rec := range livein {
+		want := est.PointRecords[i]
+		if int(rec["index"].(float64)) != want.Index {
+			t.Errorf("record %d: index %v, want %d", i, rec["index"], want.Index)
+		}
+		if int64(rec["pc"].(float64)) != want.LiveIn.PC {
+			t.Errorf("record %d: pc %v, want %d", i, rec["pc"], want.LiveIn.PC)
+		}
+		if uint32(rec["live_int"].(float64)) != want.LiveIn.Int {
+			t.Errorf("record %d: live_int %v, want %d", i, rec["live_int"], want.LiveIn.Int)
+		}
+		if uint32(rec["live_fp"].(float64)) != want.LiveIn.FP {
+			t.Errorf("record %d: live_fp %v, want %d", i, rec["live_fp"], want.LiveIn.FP)
+		}
+		if rec["mem"].(bool) != want.LiveIn.Mem {
+			t.Errorf("record %d: mem %v, want %v", i, rec["mem"], want.LiveIn.Mem)
+		}
+		if want := dataflow.FromMasks(want.LiveIn.Int, want.LiveIn.FP).String(); rec["regs"] != want {
+			t.Errorf("record %d: regs %q, want %q", i, rec["regs"], want)
+		}
+	}
+}
+
+// TestCheckpointLiveIns: MakeCheckpoints records a live-in summary per
+// point and ExecuteFromCheckpoints (which scrubs through it) still
+// reproduces the plain execution's estimates; a checkpoint whose
+// live-in pc disagrees with its state is rejected.
+func TestCheckpointLiveIns(t *testing.T) {
+	p := phasedProgram(t, 20)
+	plan, _, _, err := simpoint.Select(p, simpoint.Config{IntervalLen: 1000, Kmax: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := MakeCheckpoints(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.LiveIns) != len(plan.Points) {
+		t.Fatalf("%d live-ins for %d points", len(ck.LiveIns), len(plan.Points))
+	}
+	if _, err := ExecuteFromCheckpoints(p, ck, config.BaseA()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one live-in position: the replay must refuse it.
+	ck.LiveIns[0].PC++
+	if _, err := ExecuteFromCheckpoints(p, ck, config.BaseA()); err == nil {
+		t.Error("mismatched live-in pc not rejected")
+	}
+	ck.LiveIns[0].PC--
+
+	// Checkpoints without live-in metadata (older producers, hand-built
+	// fixtures) still replay.
+	ck.LiveIns = nil
+	if _, err := ExecuteFromCheckpoints(p, ck, config.BaseA()); err != nil {
+		t.Errorf("live-in-free checkpoints failed: %v", err)
+	}
+}

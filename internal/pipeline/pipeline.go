@@ -19,6 +19,7 @@ import (
 	"mlpa/internal/prog"
 	"mlpa/internal/sampling"
 	"mlpa/internal/staticanalysis"
+	"mlpa/internal/staticanalysis/dataflow"
 	"mlpa/internal/stats"
 )
 
@@ -86,6 +87,15 @@ type ExecOptions struct {
 	// Obs, when non-nil, receives per-point journal records, stage
 	// spans and pipeline metrics for the run. A nil Obs costs nothing.
 	Obs *obs.Runtime
+
+	// ScrubDeadRegs, when set, zeroes every register outside the static
+	// live-in set at each point's boundary before detailed simulation.
+	// Liveness soundness (see internal/staticanalysis/dataflow) makes
+	// the scrub architecturally invisible, so results are bit-identical
+	// with and without it — the property the soundness harness asserts
+	// on the whole benchmark suite, and the property that makes live-in
+	// masks a safe storage schema for portable checkpoints.
+	ScrubDeadRegs bool
 }
 
 // PointRecord is the observable outcome of one executed simulation
@@ -123,6 +133,10 @@ type PointRecord struct {
 	// Wall-clock split attributable to this point.
 	WallFunctional time.Duration `json:"wall_functional_ns"`
 	WallDetailed   time.Duration `json:"wall_detailed_ns"`
+
+	// LiveIn is the static live-in summary at the point's boundary
+	// (the position the machine enters detailed simulation at).
+	LiveIn sampling.LiveIn `json:"livein"`
 }
 
 // Estimate is the outcome of executing one sampling plan.
@@ -266,6 +280,19 @@ func runPoint(m *emu.Machine, cfg cpu.Config, reg *obs.Registry, plan *sampling.
 			return PointRecord{}, err
 		}
 	}
+	// The machine now sits at the point's boundary (pt.Start - lead).
+	// Record the static live-in set there — the portable-checkpoint
+	// storage schema — and, under the soundness harness, scrub the
+	// statically-dead registers before any further execution touches
+	// them.
+	livein, err := boundaryLiveIn(m)
+	if err != nil {
+		return PointRecord{}, fmt.Errorf("pipeline: point %d in %s/%s: %w",
+			pi, plan.Benchmark, plan.Method, err)
+	}
+	if opts.ScrubDeadRegs {
+		scrubDeadRegs(m, livein)
+	}
 	if opts.Warmup > 0 && task.warm < pt.Len() {
 		// The context would enter the point with less warmed history
 		// than the point is long — typically the contiguous points a
@@ -312,7 +339,35 @@ func runPoint(m *emu.Machine, cfg cpu.Config, reg *obs.Registry, plan *sampling.
 		Tail:           task.tail,
 		WallFunctional: wallFunc,
 		WallDetailed:   wallDet,
+		LiveIn:         livein,
 	}, nil
+}
+
+// boundaryLiveIn computes the static live-in summary at the machine's
+// current position. The dataflow solution is cached per program, so
+// per-point queries cost one backward block walk each.
+func boundaryLiveIn(m *emu.Machine) (sampling.LiveIn, error) {
+	live, mem, err := dataflow.For(m.Prog).LiveInAt(m.PC)
+	if err != nil {
+		return sampling.LiveIn{}, err
+	}
+	ints, fps := live.Split()
+	return sampling.LiveIn{PC: m.PC, Int: ints, FP: fps, Mem: mem}, nil
+}
+
+// scrubDeadRegs zeroes every register cell outside the live-in masks.
+// By liveness soundness this cannot change the execution.
+func scrubDeadRegs(m *emu.Machine, li sampling.LiveIn) {
+	for i := 1; i < len(m.IntRegs); i++ {
+		if li.Int&(1<<uint(i)) == 0 {
+			m.IntRegs[i] = 0
+		}
+	}
+	for i := range m.FPRegs {
+		if li.FP&(1<<uint(i)) == 0 {
+			m.FPRegs[i] = 0
+		}
+	}
 }
 
 // ExecutePlan performs the sampled simulation a plan describes and
@@ -476,6 +531,22 @@ func journalPoint(rt *obs.Runtime, plan *sampling.Plan, cfgName string, rec Poin
 		"tail":               rec.Tail,
 		"wall_functional_ns": rec.WallFunctional.Nanoseconds(),
 		"wall_detailed_ns":   rec.WallDetailed.Nanoseconds(),
+	})
+	// The live-in record is the storage schema for portable
+	// checkpoints: together with the point record it specifies exactly
+	// which architectural state a checkpoint at this boundary must
+	// capture (see docs/OBSERVABILITY.md).
+	rt.Emit("static_livein", map[string]any{
+		"benchmark": plan.Benchmark,
+		"method":    plan.Method,
+		"config":    cfgName,
+		"index":     rec.Index,
+		"start":     rec.Start,
+		"pc":        rec.LiveIn.PC,
+		"live_int":  rec.LiveIn.Int,
+		"live_fp":   rec.LiveIn.FP,
+		"mem":       rec.LiveIn.Mem,
+		"regs":      dataflow.FromMasks(rec.LiveIn.Int, rec.LiveIn.FP).String(),
 	})
 }
 

@@ -1,11 +1,24 @@
-package staticanalysis
+// External test package: emu now imports staticanalysis (via the
+// dataflow-backed predecode cross-check), so any test that drives the
+// emulator must live outside the package to avoid an import cycle.
+package staticanalysis_test
 
 import (
 	"testing"
 
 	"mlpa/internal/emu"
 	"mlpa/internal/prog"
+	"mlpa/internal/staticanalysis"
 )
+
+func analyzeClean(t *testing.T, p *prog.Program) *staticanalysis.Analysis {
+	t.Helper()
+	a := staticanalysis.Analyze(p)
+	if !a.Report.OK() {
+		t.Fatalf("%s: verifier findings:\n%s", p.Name, a.Report)
+	}
+	return a
+}
 
 // profileHeads runs p to completion under the dynamic loop profiler
 // and returns the discovered structures.

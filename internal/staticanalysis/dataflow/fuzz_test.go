@@ -1,0 +1,138 @@
+package dataflow_test
+
+// FuzzLiveness is the native fuzz target for the liveness solver:
+// arbitrary bytes become a random branchy program (straight-line
+// arithmetic, cross-namespace operands, memory traffic, in-range
+// conditional branches and jumps) and two soundness properties are
+// checked against the interpreter on whatever path the program takes:
+//
+//  1. every register the interpreter reads before writing it must be
+//     in the static live-in set at the entry boundary, and
+//  2. fast-forwarding to a random boundary and zeroing every register
+//     NOT in the static live-in set there must leave the rest of the
+//     execution observably identical.
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"mlpa/internal/emu"
+	"mlpa/internal/isa"
+	"mlpa/internal/prog"
+	"mlpa/internal/staticanalysis/dataflow"
+)
+
+// fuzzOps is the opcode whitelist: every executable opcode except the
+// indirect-control pair (jal/jr), so the static CFG covers every path
+// the interpreter can take and no run ever leaves the program.
+var fuzzOps = []isa.Op{
+	isa.OpNop,
+	isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem,
+	isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSlt,
+	isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpShli, isa.OpShri, isa.OpSlti,
+	isa.OpLui,
+	isa.OpLd, isa.OpSt, isa.OpFld, isa.OpFst,
+	isa.OpFadd, isa.OpFsub, isa.OpFmul, isa.OpFdiv, isa.OpFneg, isa.OpFmov,
+	isa.OpCvtIF, isa.OpCvtFI, isa.OpFcmpLt, isa.OpFcmpEq,
+	isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpJmp,
+	isa.OpHalt,
+}
+
+// fuzzLivenessProgram decodes data into a program, 8 bytes per
+// instruction (opcode index, three register names across the full
+// 64-name space, a 16-bit immediate, a branch target) with a halt
+// appended so straight-line fall-through always terminates. Branch and
+// jump targets are reduced into range, keeping every path inside the
+// program.
+func fuzzLivenessProgram(data []byte) *prog.Program {
+	n := len(data) / 8
+	if n == 0 {
+		return nil
+	}
+	code := make([]isa.Inst, n+1)
+	for i := 0; i < n; i++ {
+		b := data[i*8 : i*8+8]
+		code[i] = isa.Inst{
+			Op:   fuzzOps[int(b[0])%len(fuzzOps)],
+			Rd:   isa.Reg(b[1] & 63),
+			Rs1:  isa.Reg(b[2] & 63),
+			Rs2:  isa.Reg(b[3] & 63),
+			Imm:  int64(int16(binary.LittleEndian.Uint16(b[4:6]))),
+			Targ: int64(b[6]) % int64(n+1),
+		}
+	}
+	code[n] = isa.Inst{Op: isa.OpHalt}
+	return &prog.Program{Name: "fuzz-liveness", Code: code}
+}
+
+func FuzzLiveness(f *testing.F) {
+	// Seed a counting loop with a store, an FP/cross-namespace mix, and
+	// a branch into dead code.
+	f.Add([]byte{
+		12, 1, 0, 0, 5, 0, 0, 0, // addi r1, r0, 5
+		20, 2, 1, 1, 0, 1, 0, 0, // st   r1, 256(r1)
+		12, 1, 1, 0, 0xff, 0xff, 0, 0, // addi r1, r1, -1
+		35, 0, 1, 0, 0, 0, 1, 0, // bne  r1, r0, 1
+	}, uint16(3))
+	f.Add([]byte{
+		30, 33, 2, 0, 0, 0, 0, 0, // cvtif f1, r2
+		24, 34, 33, 33, 0, 0, 0, 0, // fadd f2, f1, f1
+		1, 35, 3, 3, 0, 0, 0, 0, // add f3, r3, r3 (discarded dest)
+		31, 4, 34, 0, 0, 0, 0, 0, // cvtfi r4, f2
+		38, 0, 0, 0, 0, 0, 9, 0, // jmp past the end -> reduced in range
+	}, uint16(2))
+	f.Fuzz(func(t *testing.T, data []byte, split uint16) {
+		p := fuzzLivenessProgram(data)
+		if p == nil {
+			return
+		}
+		const budget = 2048
+		d := dataflow.For(p)
+
+		// Property 1: reads observed before any write are in the entry
+		// live-in set.
+		m := emu.New(p, 1<<10)
+		live0, _, err := d.LiveInAt(m.PC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var written dataflow.RegSet
+		for !m.Halted && m.Insts < budget {
+			eff := dataflow.EffectOf(p.Code[m.PC])
+			if leak := eff.Use &^ written &^ live0; leak != 0 {
+				t.Fatalf("pc %d reads %v outside live-in %v (written %v)",
+					m.PC, leak, live0, written)
+			}
+			written |= eff.Def
+			if _, err := m.Step(); err != nil {
+				t.Fatalf("step at pc %d: %v", m.PC, err)
+			}
+		}
+
+		// Property 2: scrub statically-dead registers at a random
+		// boundary along the path; the remainder must be observably
+		// identical to the unscrubbed run.
+		m = emu.New(p, 1<<10)
+		if at := uint64(split) % budget; at > 0 { // Run(0) means run-to-halt
+			if _, err := m.Run(at); err != nil {
+				t.Fatalf("fast-forward: %v", err)
+			}
+		}
+		if m.Halted {
+			return
+		}
+		live, _, err := d.LiveInAt(m.PC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, scrubbed := m.Clone(), m.Clone()
+		scrubDead(scrubbed, live)
+		if _, err := ref.Run(budget); err != nil {
+			t.Fatalf("reference run: %v", err)
+		}
+		if _, err := scrubbed.Run(budget); err != nil {
+			t.Fatalf("scrubbed run at pc %d: %v", m.PC, err)
+		}
+		machinesEqual(t, p.Name, ref, scrubbed, live)
+	})
+}

@@ -1,0 +1,168 @@
+package dataflow
+
+import "math/bits"
+
+// DefSet is a bitset over the program's effective definition sites
+// (instruction PCs whose write is not discarded), indexed by site
+// number. The zero value is the empty set.
+type DefSet []uint64
+
+func newDefSet(n int) DefSet { return make(DefSet, (n+63)/64) }
+
+func (s DefSet) clone() DefSet {
+	c := make(DefSet, len(s))
+	copy(c, s)
+	return c
+}
+
+func (s DefSet) add(i int)      { s[i>>6] |= 1 << (uint(i) & 63) }
+func (s DefSet) Has(i int) bool { return i>>6 < len(s) && s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of sites in the set.
+func (s DefSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// or folds x into s and reports whether s changed.
+func (s DefSet) or(x DefSet) bool {
+	changed := false
+	for i, w := range x {
+		if nw := s[i] | w; nw != s[i] {
+			s[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s DefSet) equal(x DefSet) bool {
+	for i := range s {
+		if s[i] != x[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReachDefs is the reaching-definitions fixpoint: for every block, the
+// definition sites whose values may flow to its entry and exit.
+type ReachDefs struct {
+	// Sites[i] is the PC of definition site i, ascending.
+	Sites []int64
+
+	// In/Out are the per-block fixpoint sets over site indices.
+	In, Out []DefSet
+
+	siteOf   []int32     // pc -> site index, -1 if the instruction defines nothing
+	cellSite [64][]int32 // register cell -> its site indices
+}
+
+// solveReach numbers the effective definition sites, builds per-block
+// gen/kill sets over them, and runs the forward union fixpoint.
+func solveReach(d *Dataflow) *ReachDefs {
+	r := &ReachDefs{siteOf: make([]int32, len(d.Prog.Code))}
+	for pc := range d.Prog.Code {
+		r.siteOf[pc] = -1
+		if def := d.Effects[pc].Def; def != 0 {
+			i := int32(len(r.Sites))
+			r.siteOf[pc] = i
+			r.Sites = append(r.Sites, int64(pc))
+			r.cellSite[bits.TrailingZeros64(uint64(def))] = append(r.cellSite[bits.TrailingZeros64(uint64(def))], i)
+		}
+	}
+	nSites := len(r.Sites)
+	nBlocks := d.CFG.NumBlocks()
+
+	gen := make([]DefSet, nBlocks)
+	kill := make([]DefSet, nBlocks)
+	for id, b := range d.CFG.Blocks {
+		gen[id] = newDefSet(nSites)
+		kill[id] = newDefSet(nSites)
+		// Walk forward keeping the last def per cell; the survivors are
+		// the block's gen set.
+		var last [64]int32
+		for i := range last {
+			last[i] = -1
+		}
+		for pc := b.Start; pc < b.End; pc++ {
+			if def := d.Effects[pc].Def; def != 0 {
+				last[bits.TrailingZeros64(uint64(def))] = r.siteOf[pc]
+			}
+		}
+		for c, site := range last {
+			if site < 0 {
+				continue
+			}
+			gen[id].add(int(site))
+			// Every other site of a cell written here is killed.
+			for _, s := range r.cellSite[c] {
+				if s != site {
+					kill[id].add(int(s))
+				}
+			}
+		}
+	}
+
+	r.In, r.Out = Solve(d.CFG, Forward,
+		func(int) DefSet { return newDefSet(nSites) },
+		func(acc, x DefSet) DefSet {
+			if x != nil {
+				acc.or(x)
+			}
+			return acc
+		},
+		func(b int, in DefSet) DefSet {
+			out := in.clone()
+			for i, w := range kill[b] {
+				out[i] &^= w
+			}
+			out.or(gen[b])
+			return out
+		},
+		func(a, b DefSet) bool {
+			if a == nil || b == nil {
+				return a == nil && b == nil
+			}
+			return a.equal(b)
+		},
+	)
+	return r
+}
+
+// DefsReaching returns the definition sites (as instruction PCs, in
+// ascending site order) whose values may reach the entry of pc,
+// restricted to the register cells in regs (pass AllRegs for all).
+func (d *Dataflow) DefsReaching(pc int64, regs RegSet) ([]int64, error) {
+	if err := d.checkPC(pc); err != nil {
+		return nil, err
+	}
+	r := d.Reach
+	b := d.Prog.BlockOf(pc)
+	cur := r.In[b].clone()
+	for i := d.CFG.Blocks[b].Start; i < pc; i++ {
+		def := d.Effects[i].Def
+		if def == 0 {
+			continue
+		}
+		// An in-block def kills every other reaching def of its cell and
+		// generates itself.
+		for _, s := range r.cellSite[bits.TrailingZeros64(uint64(def))] {
+			if r.Sites[s] == i {
+				cur.add(int(s))
+			} else if cur.Has(int(s)) {
+				cur[s>>6] &^= 1 << (uint(s) & 63)
+			}
+		}
+	}
+	var out []int64
+	for s, site := range r.Sites {
+		if cur.Has(s) && d.Effects[site].Def&regs != 0 {
+			out = append(out, site)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RegionSummary is the dataflow summary of a single-entry code region:
+// all paths from entryPC up to (but not including) the first time
+// control reaches exitPC. This is the shape of a selected simulation
+// point or a loop body — the unit a portable checkpoint must capture.
+type RegionSummary struct {
+	EntryPC, ExitPC int64
+
+	// Blocks are the CFG block IDs the region may execute, ascending.
+	Blocks []int
+
+	// Insts is the number of static instructions in those blocks
+	// (partial entry/exit blocks counted by their in-region ranges).
+	Insts int64
+
+	// LiveIn is the set of registers the region may read before
+	// writing; LiveInMem is the memory analogue. State outside LiveIn
+	// need not be captured for the region to replay bit-identically.
+	LiveIn    RegSet
+	LiveInMem bool
+
+	// Defs is the set of registers the region may write; Loads/Stores
+	// flag memory traffic.
+	Defs   RegSet
+	Loads  bool
+	Stores bool
+}
+
+// RegionSummary computes the live-in, defs and footprint of the region
+// [entryPC, exitPC). The exit must be forward-reachable from the entry;
+// paths that leave the region through exitPC stop contributing there
+// (region liveness, unlike whole-program LiveInAt, does not count uses
+// beyond the exit). When both PCs fall in the same block the entry must
+// precede the exit.
+func (d *Dataflow) RegionSummary(entryPC, exitPC int64) (RegionSummary, error) {
+	if err := d.checkPC(entryPC); err != nil {
+		return RegionSummary{}, err
+	}
+	if err := d.checkPC(exitPC); err != nil {
+		return RegionSummary{}, err
+	}
+	rs := RegionSummary{EntryPC: entryPC, ExitPC: exitPC}
+	eb := d.Prog.BlockOf(entryPC)
+	xb := d.Prog.BlockOf(exitPC)
+
+	if eb == xb {
+		// Straight-line region: control entering at entryPC runs the
+		// block linearly and hits exitPC before any transfer.
+		if entryPC >= exitPC {
+			return rs, fmt.Errorf("dataflow: program %q: region exit %d does not follow entry %d within block B%d",
+				d.Prog.Name, exitPC, entryPC, eb)
+		}
+		rs.Blocks = []int{eb}
+		rs.Insts = exitPC - entryPC
+		var live RegSet
+		for pc := exitPC - 1; pc >= entryPC; pc-- {
+			e := d.Effects[pc]
+			live = (live &^ e.Def) | e.Use
+			rs.Defs |= e.Def
+			rs.Loads = rs.Loads || e.Load
+			rs.Stores = rs.Stores || e.Store
+		}
+		rs.LiveIn = live
+		rs.LiveInMem = rs.Loads
+		return rs, nil
+	}
+
+	// Region discovery: forward closure from the entry block, cut at
+	// the exit block — region execution ends inside it at exitPC, so
+	// its successors are not part of the region.
+	inRegion := make([]bool, d.CFG.NumBlocks())
+	stack := []int{eb}
+	inRegion[eb] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == xb {
+			continue
+		}
+		for _, s := range d.CFG.Succs[b] {
+			if !inRegion[s] {
+				inRegion[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	if !inRegion[xb] {
+		return rs, fmt.Errorf("dataflow: program %q: region exit %d (block B%d) is not reachable from entry %d (block B%d)",
+			d.Prog.Name, exitPC, xb, entryPC, eb)
+	}
+	for b, in := range inRegion {
+		if in {
+			rs.Blocks = append(rs.Blocks, b)
+		}
+	}
+	sort.Ints(rs.Blocks)
+
+	// The exit block participates only up to exitPC: compute its
+	// partial gen/kill by a forward prefix walk.
+	var xbGen, xbKill RegSet
+	xbLoads := false
+	for pc := d.CFG.Blocks[xb].Start; pc < exitPC; pc++ {
+		e := d.Effects[pc]
+		xbGen |= e.Use &^ xbKill
+		xbKill |= e.Def
+		xbLoads = xbLoads || e.Load
+	}
+
+	// Region-local backward liveness. Only the exit block's (cut)
+	// edges leave the region, so every join stays inside; the boundary
+	// is the empty set — region replay owes nothing past exitPC.
+	liveIn := make(map[int]liveFact, len(rs.Blocks))
+	liveOut := make(map[int]liveFact, len(rs.Blocks))
+	for changed := true; changed; {
+		changed = false
+		for i := len(rs.Blocks) - 1; i >= 0; i-- {
+			b := rs.Blocks[i]
+			var out liveFact
+			if b != xb {
+				for _, s := range d.CFG.Succs[b] {
+					f := liveIn[s]
+					out.regs |= f.regs
+					out.mem = out.mem || f.mem
+				}
+			}
+			var in liveFact
+			if b == xb {
+				in = liveFact{xbGen, xbLoads}
+			} else {
+				in = liveFact{d.Gen[b] | (out.regs &^ d.Kill[b]), d.Loads[b] || out.mem}
+			}
+			if liveOut[b] != out || liveIn[b] != in {
+				liveOut[b], liveIn[b] = out, in
+				changed = true
+			}
+		}
+	}
+
+	// Refine the entry block's fact to entryPC (its earlier
+	// instructions run only if a cycle re-enters the block, which the
+	// block-level fixpoint already covers).
+	live, mem := liveOut[eb].regs, liveOut[eb].mem
+	for pc := d.CFG.Blocks[eb].End - 1; pc >= entryPC; pc-- {
+		e := d.Effects[pc]
+		live = (live &^ e.Def) | e.Use
+		mem = mem || e.Load
+	}
+	rs.LiveIn, rs.LiveInMem = live, mem
+
+	// Footprint: full blocks, except the exit block's in-region prefix;
+	// the entry block counts in full because loops may re-enter it.
+	for _, b := range rs.Blocks {
+		start, end := d.BlockRange(b)
+		if b == xb {
+			end = exitPC
+		}
+		rs.Insts += end - start
+		for pc := start; pc < end; pc++ {
+			e := d.Effects[pc]
+			rs.Defs |= e.Def
+			rs.Loads = rs.Loads || e.Load
+			rs.Stores = rs.Stores || e.Store
+		}
+	}
+	return rs, nil
+}

@@ -1,0 +1,230 @@
+// Execution-based soundness checks: the static liveness claims are
+// validated against the emulator itself. This lives in an external test
+// package because emu imports dataflow for its differential validator.
+package dataflow_test
+
+import (
+	"math"
+	"testing"
+
+	"mlpa/internal/emu"
+	"mlpa/internal/prog"
+	"mlpa/internal/staticanalysis/dataflow"
+)
+
+// soundnessPrograms is the corpus: the canonical builder examples plus
+// hand-written programs exercising cross-namespace operands, FP
+// arithmetic, memory traffic and call linkage.
+func soundnessPrograms(t *testing.T) []*prog.Program {
+	t.Helper()
+	ps := prog.Examples()
+	for _, src := range []struct{ name, asm string }{
+		{"fp_mix", `
+    addi r1, r0, 64
+    addi r2, r0, 3
+    cvtif f1, r2
+    fadd f2, f1, f1
+    fmul f3, f2, f1
+    fst  f3, (r1)
+    fld  f4, (r1)
+    fcmplt r3, f1, f4
+    beq  r3, r0, done
+    addi r4, r4, 1
+done:
+    halt
+`},
+		{"cross_ns", `
+    addi r5, r0, 9
+    add  f3, r5, r5
+    fadd f1, r5, r5
+    cvtfi r6, f1
+    add  r7, r6, r5
+    halt
+`},
+		{"call", `
+    addi r1, r0, 4
+loop:
+    jal  r31, double
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+double:
+    add  r2, r2, r2
+    addi r2, r2, 1
+    jr   r31
+`},
+		{"memory", `
+    addi r1, r0, 128
+    addi r2, r0, 5
+store:
+    st   r2, (r1)
+    addi r1, r1, 8
+    addi r2, r2, -1
+    bne  r2, r0, store
+    addi r1, r0, 128
+    ld   r3, (r1)
+    ld   r4, 8(r1)
+    add  r5, r3, r4
+    halt
+`},
+	} {
+		p, err := prog.Assemble(src.name, src.asm)
+		if err != nil {
+			t.Fatalf("assemble %s: %v", src.name, err)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// scrubDead zeroes every register cell outside live on m.
+func scrubDead(m *emu.Machine, live dataflow.RegSet) {
+	ints, fps := live.Split()
+	for i := 1; i < len(m.IntRegs); i++ {
+		if ints&(1<<uint(i)) == 0 {
+			m.IntRegs[i] = 0
+		}
+	}
+	for i := range m.FPRegs {
+		if fps&(1<<uint(i)) == 0 {
+			m.FPRegs[i] = 0
+		}
+	}
+}
+
+// machinesEqual asserts the reference and scrubbed runs are
+// observably identical: same control state, instruction count, block
+// profile and memory image. Register cells may differ only where the
+// scrub zeroed a statically-dead value that was never rewritten — in
+// which case the scrubbed cell must still be zero.
+func machinesEqual(t *testing.T, name string, ref, scr *emu.Machine, live dataflow.RegSet) {
+	t.Helper()
+	if ref.PC != scr.PC || ref.Halted != scr.Halted || ref.Insts != scr.Insts {
+		t.Fatalf("%s: control state diverged: pc %d/%d halted %v/%v insts %d/%d",
+			name, ref.PC, scr.PC, ref.Halted, scr.Halted, ref.Insts, scr.Insts)
+	}
+	for b := range ref.BlockCounts {
+		if ref.BlockCounts[b] != scr.BlockCounts[b] {
+			t.Fatalf("%s: block profile diverged at B%d: %d != %d",
+				name, b, ref.BlockCounts[b], scr.BlockCounts[b])
+		}
+	}
+	ints, fps := live.Split()
+	for i := range ref.IntRegs {
+		if ref.IntRegs[i] == scr.IntRegs[i] {
+			continue
+		}
+		if ints&(1<<uint(i)) != 0 || scr.IntRegs[i] != 0 {
+			t.Fatalf("%s: live integer register r%d diverged: %d != %d",
+				name, i, ref.IntRegs[i], scr.IntRegs[i])
+		}
+	}
+	for i := range ref.FPRegs {
+		// Compare bit patterns: NaN == NaN is false, but a NaN that both
+		// runs computed identically is not a divergence.
+		if math.Float64bits(ref.FPRegs[i]) == math.Float64bits(scr.FPRegs[i]) {
+			continue
+		}
+		if fps&(1<<uint(i)) != 0 || math.Float64bits(scr.FPRegs[i]) != 0 {
+			t.Fatalf("%s: live FP register f%d diverged: %v != %v",
+				name, i, ref.FPRegs[i], scr.FPRegs[i])
+		}
+	}
+	for w := int64(0); w < ref.MemWords(); w++ {
+		if ref.LoadWord(w<<3) != scr.LoadWord(w<<3) {
+			t.Fatalf("%s: memory diverged at word %d", name, w)
+		}
+	}
+}
+
+// TestScrubAtBoundariesIsInvisible is the core soundness property: at
+// every block boundary the interpreter crosses, zeroing all registers
+// NOT in the static live-in set must leave the rest of the execution
+// bit-identical (architectural registers, memory, instruction count).
+func TestScrubAtBoundariesIsInvisible(t *testing.T) {
+	const maxInsts = 20000
+	for _, p := range soundnessPrograms(t) {
+		d := dataflow.For(p)
+
+		// Collect the boundary PCs this execution actually crosses,
+		// with the instruction count at which it first crosses each.
+		type boundary struct {
+			at uint64
+			pc int64
+		}
+		var boundaries []boundary
+		probe := emu.New(p, 1<<12)
+		blocks := p.BasicBlocks()
+		bt := p.BlockTable()
+		seen := map[int64]bool{}
+		for !probe.Halted && probe.Insts < maxInsts {
+			if blocks[bt[probe.PC]].Start == probe.PC && !seen[probe.PC] {
+				seen[probe.PC] = true
+				boundaries = append(boundaries, boundary{probe.Insts, probe.PC})
+			}
+			if _, err := probe.Step(); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+		}
+		if !probe.Halted {
+			t.Fatalf("%s: did not halt within %d insts", p.Name, maxInsts)
+		}
+
+		for _, bd := range boundaries {
+			m := emu.New(p, 1<<12)
+			if bd.at > 0 {
+				// Run(0) means run-to-halt, so only fast-forward to
+				// boundaries past the entry.
+				if _, err := m.Run(bd.at); err != nil {
+					t.Fatalf("%s: %v", p.Name, err)
+				}
+			}
+			if m.PC != bd.pc {
+				t.Fatalf("%s: replay desync: pc %d at inst %d, want %d", p.Name, m.PC, bd.at, bd.pc)
+			}
+			live, _, err := d.LiveInAt(m.PC)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			ref, scrubbed := m.Clone(), m.Clone()
+			scrubDead(scrubbed, live)
+			if _, err := ref.RunToCompletion(maxInsts); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			if _, err := scrubbed.RunToCompletion(maxInsts); err != nil {
+				t.Fatalf("%s: scrubbed run at pc %d: %v", p.Name, bd.pc, err)
+			}
+			machinesEqual(t, p.Name, ref, scrubbed, live)
+		}
+	}
+}
+
+// TestObservedReadsAreLive checks the per-step formulation: every
+// register the interpreter reads that it has not itself written since a
+// boundary must be in that boundary's static live-in set.
+func TestObservedReadsAreLive(t *testing.T) {
+	const maxInsts = 20000
+	for _, p := range soundnessPrograms(t) {
+		d := dataflow.For(p)
+		m := emu.New(p, 1<<12)
+		live, _, err := d.LiveInAt(m.PC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var written dataflow.RegSet
+		for !m.Halted && m.Insts < maxInsts {
+			eff := dataflow.EffectOf(p.Code[m.PC])
+			if leak := eff.Use &^ written &^ live; leak != 0 {
+				t.Fatalf("%s: pc %d reads %v outside live-in %v (written %v)",
+					p.Name, m.PC, leak, live, written)
+			}
+			written |= eff.Def
+			if _, err := m.Step(); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+		}
+		if !m.Halted {
+			t.Fatalf("%s: did not halt", p.Name)
+		}
+	}
+}

@@ -1,9 +1,10 @@
-package staticanalysis
+package staticanalysis_test
 
 import (
 	"testing"
 
 	"mlpa/internal/bench"
+	"mlpa/internal/staticanalysis"
 )
 
 // TestSuiteProgramsPassVerifier: every generated suite benchmark must
@@ -19,7 +20,7 @@ func TestSuiteProgramsPassVerifier(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if rep := Verify(p); !rep.OK() {
+		if rep := staticanalysis.Verify(p); !rep.OK() {
 			t.Errorf("%s rejected by verifier:\n%s", name, rep)
 		}
 	}
