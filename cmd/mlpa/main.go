@@ -14,6 +14,8 @@
 //	mlpa inspect <run.jsonl>        render a recorded run journal
 //	mlpa analyze [-bench name | file.s] static analysis: verifier, CFG, dominators, loops
 //	mlpa analyze -dataflow ...      add liveness/reaching-defs: live sets, dead writes
+//	mlpa serve [-addr host:port]    sampling-as-a-service HTTP daemon (docs/SERVICE.md)
+//	mlpa loadtest [-addr -clients -requests -dup -min-hit-rate] load harness for serve
 //	mlpa all                        figures and tables above
 //
 // Shared flags: -size tiny|small|ref, -seed N, -benchmarks a,b,c,
@@ -89,6 +91,18 @@ type flags struct {
 	// (`mlpa bench -compare old.json new.json`).
 	compare bool
 
+	// serve/loadtest surface (see cmd/mlpa/serve.go and docs/SERVICE.md).
+	addr           string
+	requestWorkers int
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+	endpoint       string
+	clients        int
+	requests       int
+	dup            float64
+	minHitRate     float64
+	report         string
+
 	// rt is the observability runtime wired by setupObs; nil-safe, so
 	// commands use it unconditionally.
 	rt *obs.Runtime
@@ -122,6 +136,16 @@ func parseFlags(cmd string, args []string) (*flags, error) {
 	fs.StringVar(&f.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.StringVar(&f.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.memprofile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.addr, "addr", defaultServeAddr, "serve: listen address; loadtest: daemon address to target")
+	fs.IntVar(&f.requestWorkers, "request-workers", 1, "serve: parallel workers per admitted execution (results are identical for every value)")
+	fs.DurationVar(&f.requestTimeout, "request-timeout", 2*time.Minute, "serve/loadtest: per-request computation timeout")
+	fs.DurationVar(&f.drainTimeout, "drain-timeout", defaultDrainTimeout, "serve: how long shutdown waits for in-flight requests")
+	fs.StringVar(&f.endpoint, "endpoint", "plan", "loadtest: API endpoint to exercise (analyze, plan or estimate)")
+	fs.IntVar(&f.clients, "clients", 4, "loadtest: concurrent requesters")
+	fs.IntVar(&f.requests, "requests", 64, "loadtest: total requests to issue")
+	fs.Float64Var(&f.dup, "dup", 0.75, "loadtest: duplicate-traffic fraction in [0,1)")
+	fs.Float64Var(&f.minHitRate, "min-hit-rate", 0, "loadtest: fail unless (hits+coalesced)/ok reaches this fraction")
+	fs.StringVar(&f.report, "report", "", "loadtest: write the JSON load report to this file")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -189,7 +213,7 @@ func (f *flags) cpuConfigs() ([]cpu.Config, error) {
 
 func run(args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mlpa <fig1|fig3|fig4|table2|table3|points|motivation|ablation|checkpoint|bench|inspect|analyze|all> [flags]")
+		return fmt.Errorf("usage: mlpa <fig1|fig3|fig4|table2|table3|points|motivation|ablation|checkpoint|bench|inspect|analyze|serve|loadtest|all> [flags]")
 	}
 	cmd := args[0]
 	f, err := parseFlags(cmd, args[1:])
@@ -240,6 +264,10 @@ func run(args []string) (err error) {
 		return runBench(f)
 	case "analyze":
 		return runAnalyze(f)
+	case "serve":
+		return runServe(f)
+	case "loadtest":
+		return runLoadtest(f)
 	case "all":
 		if err := runFig1(f); err != nil {
 			return err

@@ -1,0 +1,87 @@
+// The serve and loadtest subcommands: the sampling-as-a-service daemon
+// and its load harness. See docs/SERVICE.md.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mlpa/internal/serve"
+	"mlpa/internal/serve/loadgen"
+)
+
+// runServe boots the daemon and blocks until SIGINT/SIGTERM, then
+// drains: admitted requests complete, new ones get 503, and the
+// process exits 0 on a clean drain.
+func runServe(f *flags) error {
+	s := serve.New(serve.Options{
+		Obs:            f.rt,
+		MaxConcurrent:  f.workers,
+		RequestWorkers: f.requestWorkers,
+		RequestTimeout: f.requestTimeout,
+	})
+	if err := s.Start(f.addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mlpa: serving sampling API on http://%s/ (/v1/analyze, /v1/plan, /v1/estimate, /healthz, /metrics)\n", s.Addr())
+	<-f.ctx.Done()
+	fmt.Fprintln(os.Stderr, "mlpa: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), f.drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "mlpa: drained cleanly")
+	return nil
+}
+
+// runLoadtest drives duplicate-heavy traffic at a running daemon and
+// fails on any request failure or an insufficient cache hit rate.
+func runLoadtest(f *flags) error {
+	o := loadgen.Options{
+		BaseURL:     "http://" + f.addr,
+		Endpoint:    f.endpoint,
+		Clients:     f.clients,
+		Requests:    f.requests,
+		DupFraction: f.dup,
+		Size:        f.size,
+		Method:      f.method,
+		Seed:        f.seed,
+		Timeout:     f.requestTimeout,
+	}
+	if f.benchmarks != "" {
+		o.Benchmarks = strings.Split(f.benchmarks, ",")
+	}
+	rep, err := loadgen.Run(f.ctx, o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Summary())
+	if f.report != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(f.report, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote load report to %s\n", f.report)
+	}
+	if rep.Failures > 0 {
+		return fmt.Errorf("loadtest: %d request(s) failed", rep.Failures)
+	}
+	if rep.HitRate < f.minHitRate {
+		return fmt.Errorf("loadtest: hit rate %.2f below required %.2f", rep.HitRate, f.minHitRate)
+	}
+	return nil
+}
+
+// Defaults for the serve/loadtest flag group, applied in parseFlags.
+const (
+	defaultServeAddr    = "localhost:8080"
+	defaultDrainTimeout = 30 * time.Second
+)

@@ -11,9 +11,11 @@
 //   - panic: no panic in library packages (under internal/) outside
 //     tests; functions named Must* are exempt by convention.
 //   - http-listen: no direct listener setup (http.ListenAndServe,
-//     http.Serve, net.Listen, ...) outside internal/obs; live
-//     telemetry must go through obs.Serve so every endpoint gets the
-//     same handler, lifecycle and shutdown behaviour.
+//     http.Serve, net.Listen, ...) outside the sanctioned listener
+//     packages internal/obs and internal/serve; telemetry must go
+//     through obs.Serve and service endpoints through serve.Server so
+//     every endpoint gets the same handler, lifecycle and shutdown
+//     behaviour.
 //   - map-range-order: no `range` over a map whose body writes output
 //     (fmt printing, journal Emit, Write*) — map iteration order is
 //     random, so such loops make journals and reports
@@ -86,9 +88,17 @@ func isLibraryPkg(dir string) bool {
 	return dir == "internal" || strings.HasPrefix(dir, "internal/")
 }
 
-// internal/obs owns the repository's one sanctioned listener setup
-// (obs.Serve); everywhere else the http-listen rule applies.
-func outsideObs(dir string) bool { return dir != "internal/obs" }
+// listenerPkgs are the packages sanctioned to bind listeners:
+// internal/obs owns the telemetry listener (obs.Serve) and
+// internal/serve owns the sampling-service daemon listener; everywhere
+// else the http-listen rule applies so ad-hoc endpoints can't bypass
+// their shared handler, lifecycle and shutdown behaviour.
+var listenerPkgs = map[string]bool{
+	"internal/obs":   true,
+	"internal/serve": true,
+}
+
+func outsideListenerPkgs(dir string) bool { return !listenerPkgs[dir] }
 
 func everywhere(string) bool { return true }
 
@@ -99,7 +109,7 @@ var rules = []rule{
 	{"time-now", isDeterministicPkg},
 	{"unseeded-rand", isDeterministicPkg},
 	{"panic", isLibraryPkg},
-	{"http-listen", outsideObs},
+	{"http-listen", outsideListenerPkgs},
 	{"map-range-order", everywhere},
 }
 
@@ -282,11 +292,11 @@ func lintFile(path, rel string) ([]Finding, error) {
 					}
 					if httpName != "" && pkg.Name == httpName && httpListenFuncs[fun.Sel.Name] {
 						report(n.Pos(), "http-listen",
-							fmt.Sprintf("direct http.%s outside internal/obs; serve telemetry through obs.Serve", fun.Sel.Name))
+							fmt.Sprintf("direct http.%s outside the sanctioned listener packages (internal/obs, internal/serve); use obs.Serve or serve.Server", fun.Sel.Name))
 					}
 					if netName != "" && pkg.Name == netName && netListenFuncs[fun.Sel.Name] {
 						report(n.Pos(), "http-listen",
-							fmt.Sprintf("direct net.%s outside internal/obs; serve telemetry through obs.Serve", fun.Sel.Name))
+							fmt.Sprintf("direct net.%s outside the sanctioned listener packages (internal/obs, internal/serve); use obs.Serve or serve.Server", fun.Sel.Name))
 					}
 				}
 			}

@@ -142,7 +142,8 @@ func wrongRule() int64 {
 }
 
 // TestLintHTTPListenRule: direct listener setup is flagged everywhere
-// except internal/obs, the package that owns obs.Serve.
+// except the sanctioned listener packages — internal/obs (obs.Serve)
+// and internal/serve (the sampling-service daemon).
 func TestLintHTTPListenRule(t *testing.T) {
 	root := writeTree(t, map[string]string{
 		"cmd/tool/main.go": `package main
@@ -162,7 +163,7 @@ func Bad() error {
 	return err
 }
 `,
-		// internal/obs is the sanctioned home of listener setup.
+		// internal/obs is a sanctioned home of listener setup.
 		"internal/obs/server.go": `package obs
 
 import "net"
@@ -170,6 +171,23 @@ import "net"
 func Serve(addr string) error {
 	_, err := net.Listen("tcp", addr)
 	return err
+}
+`,
+		// internal/serve is the other sanctioned listener package: the
+		// service daemon binds its own socket in Start.
+		"internal/serve/serve.go": `package serve
+
+import (
+	"net"
+	"net/http"
+)
+
+func Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return http.Serve(ln, nil)
 }
 `,
 		// An allow directive suppresses the rule like any other.

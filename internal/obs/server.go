@@ -9,7 +9,7 @@ import (
 	"sync"
 )
 
-// Handler returns the live-export mux for a run:
+// Mount registers the live-export telemetry routes on mux:
 //
 //	/metrics        metrics snapshot — Prometheus text by default,
 //	                ?format=json for the JSON encoding, ?delta=1 for
@@ -18,13 +18,14 @@ import (
 //	/progress       per-stage completion as a JSON array of
 //	                {name,total,done,frac}, first-registration order
 //	/debug/pprof/*  the standard Go profiling endpoints
-//	/               a plain-text index of the above
 //
-// The handler only reads atomic snapshots of the registry and progress
-// tracker; serving it concurrently with a run never perturbs results.
-// Nil-safe: on a nil runtime every endpoint serves empty data.
-func Handler(rt *Runtime) http.Handler {
-	mux := http.NewServeMux()
+// The handlers only read atomic snapshots of the registry and progress
+// tracker; serving them concurrently with a run never perturbs
+// results. Nil-safe: on a nil runtime every endpoint serves empty
+// data. Mount is how other sanctioned servers (internal/serve) export
+// the same telemetry surface on their own mux; Handler wraps it with a
+// plain-text index for the standalone diagnostics listener.
+func Mount(mux *http.ServeMux, rt *Runtime) {
 	var deltaMu sync.Mutex
 	var deltaPrev Snapshot
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -60,6 +61,13 @@ func Handler(rt *Runtime) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns the live-export mux for a run: the Mount routes plus
+// a plain-text index at /.
+func Handler(rt *Runtime) http.Handler {
+	mux := http.NewServeMux()
+	Mount(mux, rt)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

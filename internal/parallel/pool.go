@@ -1,0 +1,65 @@
+package parallel
+
+import (
+	"context"
+	"runtime"
+
+	"mlpa/internal/obs"
+)
+
+// Pool is a process-wide bounded admission pool: a counting semaphore
+// that callers acquire around expensive work so the total concurrency
+// across independent requests stays capped regardless of how many
+// arrive at once. It carries no work itself — pair it with ForEach (or
+// plain code) inside the held slot.
+//
+// A nil *Pool is valid and admits everything immediately, so callers
+// can thread an optional pool through without branching.
+type Pool struct {
+	sem chan struct{}
+	reg *obs.Registry
+}
+
+// NewPool creates a pool admitting up to n concurrent holders (n <= 0
+// selects GOMAXPROCS). reg, when non-nil, receives gauge
+// parallel.pool.in_use and counter parallel.pool.acquired.
+func NewPool(n int, reg *obs.Registry) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, n), reg: reg}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning
+// ctx.Err() in the latter case. Every successful Acquire must be paired
+// with exactly one Release.
+func (p *Pool) Acquire(ctx context.Context) error {
+	if p == nil {
+		return nil
+	}
+	select {
+	case p.sem <- struct{}{}:
+		p.reg.Counter("parallel.pool.acquired").Inc()
+		p.reg.Gauge("parallel.pool.in_use").Set(float64(len(p.sem)))
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot taken by Acquire.
+func (p *Pool) Release() {
+	if p == nil {
+		return
+	}
+	<-p.sem
+	p.reg.Gauge("parallel.pool.in_use").Set(float64(len(p.sem)))
+}
+
+// Cap returns the pool's concurrency bound (0 for a nil pool).
+func (p *Pool) Cap() int {
+	if p == nil {
+		return 0
+	}
+	return cap(p.sem)
+}

@@ -1,0 +1,80 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mlpa/internal/obs"
+)
+
+// TestPoolBoundsConcurrency: with a pool of capacity 2, at most two
+// holders observe each other concurrently no matter how many goroutines
+// contend.
+func TestPoolBoundsConcurrency(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(2, reg)
+	if p.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", p.Cap())
+	}
+	var inUse, maxSeen atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			n := inUse.Add(1)
+			for {
+				m := maxSeen.Load()
+				if n <= m || maxSeen.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inUse.Add(-1)
+			p.Release()
+		}()
+	}
+	wg.Wait()
+	if got := maxSeen.Load(); got > 2 {
+		t.Errorf("observed %d concurrent holders, cap 2", got)
+	}
+	if got := reg.Counter("parallel.pool.acquired").Value(); got != 16 {
+		t.Errorf("acquired counter = %d, want 16", got)
+	}
+}
+
+// TestPoolAcquireCancellation: a full pool unblocks a waiting Acquire
+// with the context's error when the context dies.
+func TestPoolAcquireCancellation(t *testing.T) {
+	p := NewPool(1, nil)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- p.Acquire(ctx) }()
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Errorf("Acquire under cancellation = %v, want context.Canceled", err)
+	}
+	p.Release()
+}
+
+// TestNilPool: a nil pool admits everything and is safe to release.
+func TestNilPool(t *testing.T) {
+	var p *Pool
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	if p.Cap() != 0 {
+		t.Errorf("nil pool Cap = %d, want 0", p.Cap())
+	}
+}

@@ -1,0 +1,29 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"mlpa/internal/emu"
+	"mlpa/internal/prog"
+	"mlpa/internal/staticanalysis"
+)
+
+// MeasureLength runs p functionally to completion and returns its
+// dynamic instruction count, refusing to execute more than bound
+// instructions. It is the admission probe long-running services use
+// before spending profiling or simulation time on an untrusted guest:
+// a program that fails the probe (malformed, or not halting within the
+// budget) is rejected up front, and a program that passes is known to
+// bound every later functional pass — profiling, fast-forward,
+// warming — by the measured length.
+func MeasureLength(p *prog.Program, bound uint64) (uint64, error) {
+	if err := staticanalysis.Preflight(p); err != nil {
+		return 0, fmt.Errorf("pipeline: preflight for %s: %w", p.Name, err)
+	}
+	m := emu.New(p, 0)
+	n, err := m.RunToCompletion(bound)
+	if err != nil {
+		return n, fmt.Errorf("pipeline: length probe of %s: %w", p.Name, err)
+	}
+	return n, nil
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzServeRequest throws arbitrary bytes at the API as request
+// bodies: malformed JSON, schema violations, garbage and adversarial
+// assembly. The contract under fuzz is the production robustness
+// contract — every input maps to a structured response, never a panic
+// and never a 5xx. The target uses /v1/analyze because it is purely
+// static (no guest execution), so the fuzzer explores the decode,
+// normalize, assemble and verify surfaces without paying for
+// simulation.
+func FuzzServeRequest(f *testing.F) {
+	f.Add([]byte(`{"benchmark":"gzip"}`))
+	f.Add([]byte(`{"assembly":"halt"}`))
+	f.Add([]byte(`{"assembly":"loop:\n addi r1, r1, 1\n bne r1, r0, loop\n halt","seed":7}`))
+	f.Add([]byte(`{"benchmark":"gzip","assembly":"halt"}`))
+	f.Add([]byte(`{"benchmark":"doom","size":"xl","method":"magic","config":"Z"}`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"assembly":"` + "\x00\xff" + `"}`))
+	f.Add([]byte(`{"benchmark":"gzip"} trailing`))
+	f.Add([]byte(``))
+
+	s := New(Options{MaxBodyBytes: 1 << 14, MaxProgramInsts: 10000, MaxProgramCode: 2048})
+	handler := s.Handler()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/analyze", bytes.NewReader(data))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		// A panic here fails the fuzz run — that is the assertion.
+		handler.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("status %d for body %q — malformed input must be a 4xx, body: %s",
+				rec.Code, data, rec.Body.Bytes())
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("non-JSON response for body %q: %s", data, rec.Body.Bytes())
+		}
+	})
+}
+
+// TestFuzzSeedsDirect replays the fuzz seed corpus as a plain test so
+// `go test` (without -fuzz) still pins the never-5xx property.
+func TestFuzzSeedsDirect(t *testing.T) {
+	seeds := [][]byte{
+		[]byte(`{"benchmark":"gzip"}`),
+		[]byte(`{"assembly":"halt"}`),
+		[]byte(`{not json`),
+		[]byte(`null`),
+		[]byte(``),
+		[]byte(`{"benchmark":"gzip","assembly":"halt"}`),
+	}
+	s := New(Options{MaxBodyBytes: 1 << 16, MaxProgramInsts: 10000})
+	handler := s.Handler()
+	for _, data := range seeds {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/analyze", bytes.NewReader(data))
+		handler.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Errorf("status %d for seed %q", rec.Code, data)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden API response files")
+
+// TestGoldenResponses pins the HTTP API schema byte-for-byte. The
+// response bodies are pure functions of the request (no wall-clock
+// fields), so these goldens are stable across hosts and worker counts;
+// any diff here is a deliberate, reviewed schema or semantics change.
+// Regenerate with: go test ./internal/serve -run TestGolden -update
+func TestGoldenResponses(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := []struct {
+		endpoint string
+		body     string
+		golden   string
+	}{
+		{"analyze", asmBody("multilevel", 1), "analyze.golden"},
+		{"plan", asmBody("multilevel", 1), "plan.golden"},
+		{"estimate", asmBody("multilevel", 1), "estimate.golden"},
+		// The error envelope is API surface too.
+		{"plan", `{"benchmark":"gzip","method":"magic"}`, "error.golden"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			_, got := post(t, ts.URL+"/v1/"+tc.endpoint, tc.body)
+			path := filepath.Join("testdata", tc.golden)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("response for %s drifted from %s (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s",
+					tc.endpoint, path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenStability: serving the same golden request twice — cold
+// and cached — yields identical bytes, which is the property that
+// makes the goldens (and the content-hash cache) sound.
+func TestGoldenStability(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := asmBody("multilevel", 1)
+	_, first := post(t, ts.URL+"/v1/estimate", body)
+	resp, second := post(t, ts.URL+"/v1/estimate", body)
+	if resp.Header.Get("X-Mlpa-Cache") != dispHit {
+		t.Fatalf("second request disposition %q, want hit", resp.Header.Get("X-Mlpa-Cache"))
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("cached replay differs from cold response")
+	}
+	// A fresh server instance (cold caches) also reproduces the bytes.
+	_, ts2 := newTestServer(t, Options{})
+	_, cold := post(t, ts2.URL+"/v1/estimate", body)
+	if !bytes.Equal(first, cold) {
+		t.Error("fresh instance produced different bytes for the same request")
+	}
+	if testing.Verbose() {
+		fmt.Printf("estimate body: %d bytes\n", len(first))
+	}
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mlpa/internal/obs"
+)
+
+// TestGracefulShutdownUnderBurst is the drain contract test: with a
+// burst of distinct requests held mid-computation, BeginDrain refuses
+// new arrivals with 503 {"code":"draining"} while every already
+// accepted request runs to completion with a 200, and Shutdown returns
+// cleanly once the last one exits. Telemetry routes stay up
+// throughout.
+func TestGracefulShutdownUnderBurst(t *testing.T) {
+	const burst = 4
+	rt := obs.New(nil)
+	s, ts := newTestServer(t, Options{Obs: rt, MaxConcurrent: burst})
+
+	gate := make(chan struct{})
+	started := make(chan string, burst)
+	s.testHookComputeStart = func(endpoint string) {
+		started <- endpoint
+		<-gate
+	}
+
+	// Distinct seeds make distinct cache keys, so each burst request is
+	// its own held computation.
+	type result struct {
+		status int
+		body   []byte
+	}
+	results := make(chan result, burst)
+	for i := 0; i < burst; i++ {
+		go func(i int) {
+			resp, b := post(t, ts.URL+"/v1/plan", asmBody("smarts", int64(i+1)))
+			results <- result{resp.StatusCode, b}
+		}(i)
+	}
+	for i := 0; i < burst; i++ {
+		select {
+		case <-started:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d of %d computations started", i, burst)
+		}
+	}
+	if got := s.InFlight(); got != burst {
+		t.Fatalf("InFlight = %d mid-burst, want %d", got, burst)
+	}
+
+	// Drain begins mid-flight.
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+
+	// Late arrivals are refused up front with the structured code, and
+	// never reach a computation.
+	resp, b := post(t, ts.URL+"/v1/plan", asmBody("smarts", 99))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("late request: status %d, want 503 (body %s)", resp.StatusCode, b)
+	}
+	if want := `"code": "draining"`; !strings.Contains(string(b), want) {
+		t.Errorf("late request body %s missing %q", b, want)
+	}
+
+	// Health flips to draining; metrics stay served.
+	for path, want := range map[string]int{"/healthz": http.StatusServiceUnavailable, "/metrics": http.StatusOK} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != want {
+			t.Errorf("GET %s while draining: status %d, want %d", path, r.StatusCode, want)
+		}
+	}
+
+	// Shutdown must block on the held burst...
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(context.Background()) }()
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned (%v) with %d requests still held", err, burst)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// ...and every accepted request completes successfully once
+	// released.
+	close(gate)
+	for i := 0; i < burst; i++ {
+		r := <-results
+		if r.status != http.StatusOK {
+			t.Errorf("burst request: status %d, body %s — accepted requests must complete", r.status, r.body)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown = %v, want clean drain", err)
+	}
+	if got := s.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d after shutdown, want 0", got)
+	}
+}
+
+// TestShutdownDeadline: a context that expires mid-drain aborts
+// Shutdown with the context error instead of hanging forever.
+func TestShutdownDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	gate := make(chan struct{})
+	s.testHookComputeStart = func(string) { <-gate }
+	go func() {
+		// The request is abandoned mid-drain; transport errors are fine.
+		resp, err := http.Post(ts.URL+"/v1/plan", "application/json",
+			strings.NewReader(asmBody("smarts", 1)))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	close(gate)
+}
+
+// TestStartShutdownRealListener exercises the daemon lifecycle over a
+// real TCP listener: Start binds, requests flow, Shutdown drains and
+// the listener closes.
+func TestStartShutdownRealListener(t *testing.T) {
+	s := New(Options{Obs: obs.New(nil)})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + s.Addr().String()
+	resp, b := post(t, url+"/v1/analyze", asmBody("multilevel", 1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze over TCP: status %d, body %s", resp.StatusCode, b)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("listener still accepting after Shutdown")
+	}
+}
