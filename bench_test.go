@@ -7,6 +7,7 @@
 package mlpa_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"mlpa/internal/kmeans"
 	"mlpa/internal/linalg"
 	"mlpa/internal/multilevel"
+	"mlpa/internal/parallel"
 	"mlpa/internal/phase"
 	"mlpa/internal/phasepred"
 	"mlpa/internal/pipeline"
@@ -207,12 +209,42 @@ func emuThroughputBench(b *testing.B, run func(m *emu.Machine) (uint64, error)) 
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "M-inst/s")
 }
 
-// BenchmarkEmulatorFastPath measures the predecoded block-batched Run
-// loop.
+// BenchmarkEmulatorFastPath measures the default Run loop — predecoded
+// block batching with superblock-trace dispatch on hot heads.
 func BenchmarkEmulatorFastPath(b *testing.B) {
 	emuThroughputBench(b, func(m *emu.Machine) (uint64, error) {
 		return m.RunToCompletion(1 << 40)
 	})
+}
+
+// BenchmarkEmulatorBlockBatched measures the same loop with superblock
+// traces disabled — the PR-4 engine — so the trace dispatcher's win is
+// an A/B on identical hardware in every run.
+func BenchmarkEmulatorBlockBatched(b *testing.B) {
+	emuThroughputBench(b, func(m *emu.Machine) (uint64, error) {
+		m.NoTraces = true
+		return m.RunToCompletion(1 << 40)
+	})
+}
+
+// BenchmarkEmulatorSuperblock measures trace dispatch on a branchy
+// diamond-loop kernel whose per-iteration path crosses four basic
+// blocks — the shape superblock chaining exists for (the loop-nest
+// kernel above is mostly back-to-back loop latches).
+func BenchmarkEmulatorSuperblock(b *testing.B) {
+	p := prog.ExampleDiamondLoop(200000)
+	m := emu.New(p, 0)
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		n, err := m.RunToCompletion(1 << 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += n
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "M-inst/s")
 }
 
 // BenchmarkEmulatorHooked measures Run with a Branch hook attached
@@ -394,6 +426,42 @@ func BenchmarkPlanExecution(b *testing.B) {
 		if _, err := pipeline.ExecutePlan(p, plan, config.BaseA(), opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPlanExecutionWorkers sweeps the same multi-level plan
+// across the ExecutePlan worker curve, so the cost-aware chunk
+// scheduler's parallel-is-never-a-loss property is measurable from
+// `go test -bench` alone. Each worker count gets a fresh state cache —
+// the cold-cache case the scheduler's startup model assumes.
+func BenchmarkPlanExecutionWorkers(b *testing.B) {
+	spec, err := bench.ByName("lucas")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := spec.MustProgram(bench.SizeTiny)
+	plan, _, err := multilevel.Select(p, multilevel.Config{
+		Coarse: coasts.Config{Seed: 1},
+		Fine:   simpoint.Config{IntervalLen: bench.FineInterval(bench.SizeTiny), Kmax: 30, Seed: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := pipeline.ExecOptions{
+				Warmup:       10 * bench.FineInterval(bench.SizeTiny),
+				DetailLeadIn: 512,
+				Workers:      workers,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts.Cache = parallel.NewStateCache(p, 0, nil)
+				if _, err := pipeline.ExecutePlan(p, plan, config.BaseA(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -22,8 +22,19 @@ import (
 
 // benchSchema is the BENCH_<date>.json document version. Schema 2
 // added the substrate micro-benchmarks (see micro.go); schema 3 added
-// the provenance block and the ExecutePlan worker curve.
-const benchSchema = 3
+// the provenance block and the ExecutePlan worker curve; schema 4
+// added the superblock-kernel throughput and the chunked-scheduler
+// partition counts. Every schema-3 field is retained unchanged, so
+// `mlpa bench -compare` works across the whole BENCH_*.json
+// trajectory.
+const benchSchema = 4
+
+// gateParallelSlack is the measurement-noise allowance of the
+// -gate-parallel check: workers=4 must not be slower than workers=1 by
+// more than this fraction. The walls compared are each best-of-three
+// (see runMicro), so the slack only absorbs residual host jitter, not
+// a real scheduling loss like the 2.3x regression this gate pins down.
+const gateParallelSlack = 0.05
 
 // benchReport is the BENCH_<date>.json document.
 type benchReport struct {
@@ -223,5 +234,14 @@ func runBench(f *flags) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d benchmarks x %d configs)\n", out, len(rep.Benchmarks), len(configs))
+	if f.gateParallel {
+		w1, w4 := rep.Micro.PlanWall1, rep.Micro.PlanWall4
+		if w4 > int64(float64(w1)*(1+gateParallelSlack)) {
+			return fmt.Errorf("bench: parallel gate failed: plan wall workers=4 %v exceeds workers=1 %v (allowance %.0f%%)",
+				time.Duration(w4).Round(time.Millisecond), time.Duration(w1).Round(time.Millisecond), 100*gateParallelSlack)
+		}
+		fmt.Printf("parallel gate ok: plan wall workers=4 %v <= workers=1 %v\n",
+			time.Duration(w4).Round(time.Millisecond), time.Duration(w1).Round(time.Millisecond))
+	}
 	return nil
 }

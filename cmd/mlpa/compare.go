@@ -151,6 +151,10 @@ func compareReports(oldRep, newRep *benchReport) ([]compareFinding, []string) {
 	if oldRep.Micro != nil && newRep.Micro != nil {
 		om, nm := oldRep.Micro, newRep.Micro
 		scalar("micro.emu_fast_mips", kindMIPS, minRelMIPS, om.EmuFastMIPS, nm.EmuFastMIPS)
+		if om.EmuSuperblockMIPS > 0 && nm.EmuSuperblockMIPS > 0 {
+			// Schema 4; older baselines simply lack the kernel.
+			scalar("micro.emu_superblock_mips", kindMIPS, minRelMIPS, om.EmuSuperblockMIPS, nm.EmuSuperblockMIPS)
+		}
 		scalar("micro.emu_hooked_mips", kindMIPS, minRelMIPS, om.EmuHookedMIPS, nm.EmuHookedMIPS)
 		scalar("micro.emu_step_mips", kindMIPS, minRelMIPS, om.EmuStepMIPS, nm.EmuStepMIPS)
 		scalar("micro.kmeans_wall", kindWall, minRelWall, float64(om.KMeansWall), float64(nm.KMeansWall))

@@ -90,6 +90,10 @@ type flags struct {
 	// compare switches `bench` into report-comparison mode
 	// (`mlpa bench -compare old.json new.json`).
 	compare bool
+	// gateParallel makes `bench` fail after writing its report when the
+	// micro section's ExecutePlan wall at workers=4 exceeds workers=1 —
+	// the parallel-is-never-a-loss CI gate.
+	gateParallel bool
 
 	// serve/loadtest surface (see cmd/mlpa/serve.go and docs/SERVICE.md).
 	addr           string
@@ -133,6 +137,7 @@ func parseFlags(cmd string, args []string) (*flags, error) {
 	fs.StringVar(&f.serveAddr, "serve", "", "serve live telemetry (/metrics, /progress, /debug/pprof/) on this address (e.g. localhost:8080)")
 	fs.DurationVar(&f.sample, "sample", 0, "stream periodic metrics_sample records to the journal (or stderr without -journal) at this interval")
 	fs.BoolVar(&f.compare, "compare", false, "bench: compare two BENCH_*.json reports and fail on significant regressions")
+	fs.BoolVar(&f.gateParallel, "gate-parallel", false, "bench: fail if the micro plan wall at workers=4 exceeds workers=1 (small noise allowance)")
 	fs.StringVar(&f.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.StringVar(&f.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.memprofile, "memprofile", "", "write a heap profile to this file on exit")

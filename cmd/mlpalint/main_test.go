@@ -446,3 +446,61 @@ func main() { _ = http.ListenAndServe(":8080", nil) }
 		}
 	}
 }
+
+// TestLintCoversTraceConstruction pins the rule scoping for the
+// superblock trace engine: trace construction lives in internal/emu,
+// a deterministic package, so wall-clock reads and global rand in
+// stitching heuristics (e.g. a randomized trace-selection order or a
+// time-based construction budget) must be flagged, while the
+// seeded/pure constructs the real trace.go uses pass clean.
+func TestLintCoversTraceConstruction(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/emu/trace.go": `package emu
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badBudget would make trace construction wall-clock dependent.
+func badBudget(deadline time.Duration) time.Time {
+	return time.Now().Add(deadline)
+}
+
+// badOrder would make the stitched trace set depend on global rand.
+func badOrder(leaders []int64) int64 {
+	return leaders[rand.Intn(len(leaders))]
+}
+
+// goodOrder is the acceptable form: seeded, a pure function of its
+// inputs.
+func goodOrder(leaders []int64, seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	return leaders[rng.Intn(len(leaders))]
+}
+
+// goodBudget is how the real engine bounds construction: by code
+// size, not by time.
+func goodBudget(codeLen int) int {
+	return 64 * codeLen
+}
+`,
+	})
+	fs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"internal/emu/trace.go:10:time-now",
+		"internal/emu/trace.go:15:unseeded-rand",
+	}
+	got := keys(fs)
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}

@@ -186,6 +186,73 @@ func TestRunMatchesStepLoopSnapshotHook(t *testing.T) {
 	}
 }
 
+// TestRunHookToggleAtTraceBoundaries attaches and detaches the Branch
+// hook between budget chunks that stop at arbitrary instruction counts
+// — PCs that land in the interior of regions the superblock engine
+// covers with traces. A hooked chunk must run on the exact hooked path
+// with all superblock state flushed (counts, PC, registers identical
+// to the Step reference), and re-detaching must drop straight back
+// into trace dispatch with no residue; the observed event stream must
+// match the reference under the identical toggle schedule.
+func TestRunHookToggleAtTraceBoundaries(t *testing.T) {
+	type event struct {
+		from, to int64
+		insts    uint64
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range prog.Examples() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if countTraces(predecode(p).traces) == 0 {
+				t.Fatalf("%s built no traces; toggle test would not cross trace interiors", p.Name)
+			}
+			fast := New(p, 1<<12)
+			ref := New(p, 1<<12)
+			var evFast, evRef []event
+			toggle := func(on bool) {
+				if !on {
+					fast.Branch, ref.Branch = nil, nil
+					return
+				}
+				fast.Branch = func(from, to int64) { evFast = append(evFast, event{from, to, fast.Insts}) }
+				ref.Branch = func(from, to int64) { evRef = append(evRef, event{from, to, ref.Insts}) }
+			}
+			for ci := 0; ci < 200 && !fast.Halted; ci++ {
+				toggle(rng.Intn(2) == 0)
+				budget := uint64(rng.Intn(211) + 1)
+				nFast, errFast := fast.Run(budget)
+				nRef, errRef := stepMachine(ref, budget)
+				label := fmt.Sprintf("%s chunk %d (budget %d, hooked %v)", p.Name, ci, budget, fast.Branch != nil)
+				compareOutcome(t, label, nFast, nRef, errFast, errRef)
+				compareMachines(t, fast, ref, label)
+				if t.Failed() || errFast != nil {
+					return
+				}
+			}
+			if len(evFast) != len(evRef) {
+				t.Fatalf("hook fired %d times, reference %d", len(evFast), len(evRef))
+			}
+			for i := range evFast {
+				if evFast[i] != evRef[i] {
+					t.Fatalf("hook event %d: %+v != reference %+v", i, evFast[i], evRef[i])
+				}
+			}
+		})
+	}
+}
+
+// countTraces reports how many non-nil traces a predecoded trace table
+// holds.
+func countTraces(traces []*strace) int {
+	n := 0
+	for _, tr := range traces {
+		if tr != nil {
+			n++
+		}
+	}
+	return n
+}
+
 // TestRunMatchesStepRandomPrograms feeds byte-derived adversarial
 // programs (the fuzz generator) through both engines: invalid opcodes,
 // mid-block halts, wild register names, out-of-range branch and jr

@@ -3,9 +3,11 @@ package emu
 // FuzzRunVsStep is the differential fuzz target for the predecoded
 // fast path: arbitrary bytes become a short program (including invalid
 // opcodes, cross-namespace register names, and out-of-range branch
-// targets), and the fast Run loops must produce bit-identical machine
-// state, counts, errors, and hook observations to the Step reference
-// loop under the same budget schedule.
+// targets), and the fast Run loops — superblock traces included —
+// must produce bit-identical machine state, counts, errors, and hook
+// observations to the Step reference loop under the same budget
+// schedule. Hooked inputs additionally attach and detach the hook
+// between chunks, at whatever trace-interior PC the budget expired on.
 
 import (
 	"encoding/binary"
@@ -83,7 +85,11 @@ func FuzzRunVsStep(f *testing.F) {
 		fast := New(p, 1<<8)
 		ref := New(p, 1<<8)
 		var evFast, evRef []hookEvent
-		if hooked {
+		attach := func(on bool) {
+			if !on {
+				fast.Branch, ref.Branch = nil, nil
+				return
+			}
 			fast.Branch = func(from, to int64) {
 				evFast = append(evFast, hookEvent{from, to, fast.Insts})
 			}
@@ -91,7 +97,15 @@ func FuzzRunVsStep(f *testing.F) {
 				evRef = append(evRef, hookEvent{from, to, ref.Insts})
 			}
 		}
-		for _, budget := range budgets {
+		for bi, budget := range budgets {
+			// Hooked inputs toggle the hook between chunks, driven by cfg
+			// bits: budget boundaries land at arbitrary instruction counts,
+			// i.e. at PCs inside regions the superblock engine covers with
+			// traces, so every attach exercises the trace→hooked state
+			// flush and every detach the re-entry into trace dispatch.
+			if hooked {
+				attach(cfg>>(bi&7)&1 == 0)
+			}
 			nFast, errFast := fast.Run(budget)
 			nRef, errRef := ref.runStep(budget)
 			if nFast != nRef {

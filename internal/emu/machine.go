@@ -58,6 +58,12 @@ type Machine struct {
 	// branch per Run call, not per instruction.
 	Metrics *obs.Registry
 
+	// NoTraces disables superblock-trace dispatch in Run's fast path,
+	// forcing pure block-batched execution. Results are bit-identical
+	// either way (the differential suite proves it); the knob exists
+	// for A/B measurement and tests.
+	NoTraces bool
+
 	mem      []uint64 // word-addressed data memory, power-of-two length
 	memMask  int64
 	code     []isa.Inst
@@ -112,6 +118,7 @@ func (m *Machine) Clone() *Machine {
 		BlockCounts: append([]uint64(nil), m.BlockCounts...),
 		haltedAt:    m.haltedAt,
 		dec:         m.dec,
+		NoTraces:    m.NoTraces,
 	}
 	return c
 }

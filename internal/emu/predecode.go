@@ -66,6 +66,9 @@ type predecoded struct {
 	// A span of 0 marks an instruction the fast path must hand to the
 	// exact Step fallback (an invalid opcode).
 	span []int32
+	// traces[pc] is the superblock trace rooted at pc, or nil; only
+	// block leaders passing the stitching rules have one. See trace.go.
+	traces []*strace
 }
 
 type predecodeKey struct{}
@@ -144,15 +147,20 @@ func buildPredecode(p *prog.Program) *predecoded {
 			}
 		}
 	}
+	d.traces = buildTraces(p, d)
 	return d
 }
 
-// execSpan executes the straight-line instructions [from, to) against
-// the given register files and memory. Callers guarantee the range
-// contains only plain (non-control, non-halt, valid) operations — the
-// predecoder's batch spans enforce this — so the body needs no PC
-// bounds checks, no error paths, and no per-instruction accounting.
-func execSpan(dc []dinst, from, to int64, R *[64]int64, F *[64]float64, mem []uint64, memMask int64) {
+// execSpan executes the instructions [from, to) against the given
+// register files and memory. Callers guarantee the range contains only
+// plain (non-control, non-halt, valid) operations plus, for trace
+// code, the guard/link pseudo-ops — the predecoder's batch spans and
+// the trace stitcher enforce this — so the body needs no PC bounds
+// checks, no error paths, and no per-instruction accounting. The
+// return value is the index (relative to dc) of the first failing
+// guard, or -1 when the whole range ran; block-batched callers pass
+// guard-free ranges and ignore it.
+func execSpan(dc []dinst, from, to int64, R *[64]int64, F *[64]float64, mem []uint64, memMask int64) int64 {
 	batch := dc[from:to]
 	for i := range batch {
 		d := &batch[i]
@@ -241,6 +249,25 @@ func execSpan(dc []dinst, from, to int64, R *[64]int64, F *[64]float64, mem []ui
 			R[d.rd&63] = b2i(F[d.fs1&63] < F[d.fs2&63])
 		case isa.OpFcmpEq:
 			R[d.rd&63] = b2i(F[d.fs1&63] == F[d.fs2&63])
+		case opGuardEQ:
+			if R[d.rs1&63] != R[d.rs2&63] {
+				return from + int64(i)
+			}
+		case opGuardNE:
+			if R[d.rs1&63] == R[d.rs2&63] {
+				return from + int64(i)
+			}
+		case opGuardLT:
+			if R[d.rs1&63] >= R[d.rs2&63] {
+				return from + int64(i)
+			}
+		case opGuardGE:
+			if R[d.rs1&63] < R[d.rs2&63] {
+				return from + int64(i)
+			}
+		case opLinkImm:
+			R[d.rd&63] = d.imm
 		}
 	}
+	return -1
 }

@@ -36,11 +36,20 @@ func (m *Machine) runStep(maxInsts uint64) (uint64, error) {
 // runFast is the no-hook loop. The register files live in local
 // 64-entry arrays (slots 32/33 implement the zero and sink registers,
 // see predecode.go) and are flushed back on every exit path; counters
-// are accumulated locally and flushed once.
+// are accumulated locally and flushed once. When the PC sits on a
+// superblock trace head (trace.go) and the full trace fits the
+// remaining budget, the whole multi-block trace runs as one execSpan
+// call; a failing guard side-exits with exact prefix accounting, and
+// everything else — cold blocks, budget tails, invalid opcodes —
+// stays on the block-batched path below.
 func (m *Machine) runFast(maxInsts uint64) (uint64, error) {
 	d := m.dec
 	dc := d.code
 	spans := d.span
+	traces := d.traces
+	if m.NoTraces {
+		traces = nil
+	}
 	codeLen := int64(len(dc))
 	blockOf := m.blockOf
 	bc := m.BlockCounts
@@ -61,6 +70,28 @@ loop:
 			m.Halted = true
 			err = fmt.Errorf("emu: program %q: PC %d out of range", m.Prog.Name, pc)
 			break
+		}
+		if traces != nil {
+			if tr := traces[pc]; tr != nil && (maxInsts == 0 || tr.total <= maxInsts-done) {
+				if gi := execSpan(tr.code, 0, int64(len(tr.code)), &R, &F, mem, mask); gi >= 0 {
+					// Side exit: the guard at flat index gi failed. Its
+					// accounting snapshot covers exactly the segments
+					// that committed (the guard's own branch included).
+					g := tr.guards[tr.code[gi].fd]
+					for _, s := range tr.segs[:g.seg+1] {
+						bc[s.block] += uint64(s.n)
+					}
+					done += g.insts
+					pc = tr.code[gi].imm
+				} else {
+					for _, a := range tr.acct {
+						bc[a.block] += a.n
+					}
+					done += tr.total
+					pc = tr.endPC
+				}
+				continue
+			}
 		}
 		sp := int64(spans[pc])
 		if sp == 0 {

@@ -469,33 +469,142 @@ func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts Exec
 	return est, nil
 }
 
-// executePoints fans the points out over a worker pool (workers == 1
-// runs in line on the calling goroutine). Each worker materializes an
-// independent machine at its point's warm start from the shared state
-// cache — a plan's ascending warm starts chain naturally, so the
-// cache's fast-forward work totals roughly one functional pass over
-// the program regardless of worker count — then runs warming, lead-in,
-// the measured region and run-ahead on that private machine.
+// Cost-model factors for the chunked point scheduler, in units of one
+// plain fast-forwarded instruction. They only steer load balancing —
+// results are bit-identical for any partition — so rough interpreter-
+// speed ratios are all that is needed: functional warming drives the
+// cache/predictor models, detailed simulation runs the full
+// out-of-order core.
+const (
+	warmCostFactor   = 8
+	detailCostFactor = 64
+	// minChunkCost keeps a chunk worth at least a few milliseconds of
+	// work (~2M fast-forward-instruction equivalents), so the scheduler
+	// never splits below what a checkpoint restore costs to set up.
+	minChunkCost = 1 << 21
+)
+
+// taskCost estimates one point's execution cost for the partitioner.
+func taskCost(t pointTask, ptLen uint64) float64 {
+	return float64(t.skip) +
+		warmCostFactor*float64(t.warm) +
+		detailCostFactor*float64(t.lead+ptLen+t.tail)
+}
+
+// planPartition derives the cost-aware chunk schedule for a plan: a
+// pure function of (plan, tasks, workers) and the host's GOMAXPROCS,
+// so every worker observes the same partition. A chunk's startup
+// estimate is the full fast-forward to its first warm start —
+// pessimistic when a shared cache already holds nearby states, which
+// only biases toward fewer chunks. The worker budget is clamped to
+// GOMAXPROCS before partitioning: chunks beyond the cores actually
+// available cannot shorten the real makespan, only time-slice against
+// each other, so a -workers value above the machine (and in
+// particular any workers>1 on a single-core host) degenerates to the
+// sequential schedule instead of a guaranteed loss. Results are
+// bit-identical for every partition, so the clamp affects wall time
+// only.
+func planPartition(plan *sampling.Plan, tasks []pointTask, workers int) []parallel.Chunk {
+	if g := runtime.GOMAXPROCS(0); workers > g {
+		workers = g
+	}
+	return parallel.PartitionChunks(len(plan.Points), parallel.ChunkOptions{
+		Workers:      workers,
+		Cost:         func(i int) float64 { return taskCost(tasks[i], plan.Points[i].Len()) },
+		StartCost:    func(i int) float64 { return float64(tasks[i].warmStart) },
+		MinChunkCost: minChunkCost,
+	})
+}
+
+// PlanChunks reports how many chunks ExecutePlan's cost-aware
+// scheduler would run (plan, opts) with at the given worker count
+// (<= 0 selects GOMAXPROCS). It is the measurement hook for bench
+// reports; the schedule itself never influences results.
+func PlanChunks(plan *sampling.Plan, opts ExecOptions, workers int) (int, error) {
+	tasks, err := planTasks(plan, opts)
+	if err != nil {
+		return 0, err
+	}
+	return len(planPartition(plan, tasks, workers)), nil
+}
+
+// executePoints runs the points through the cost-aware chunk
+// scheduler. Each chunk materializes one machine at its first point's
+// warm start from the shared state cache, then *chains* it through the
+// chunk's remaining points: after runPoint the machine sits exactly at
+// the next task's fast-forward cursor (planTasks guarantees
+// cursor = pt.End + tail), so within a chunk no checkpoint is ever
+// saved or restored and no fast-forward work is repeated. Chunks are
+// contiguous and cost-balanced, and the chunk count adapts to the work
+// available — one chunk is exactly the sequential workers==1 loop — so
+// parallel execution never regresses below sequential. Functional
+// state remains a pure function of instruction position, which keeps
+// results bit-identical for every worker count and partition.
 func executePoints(ctx context.Context, p *prog.Program, plan *sampling.Plan, cfg cpu.Config, reg *obs.Registry, tasks []pointTask, opts ExecOptions, workers int, recs []PointRecord) error {
 	cache := opts.Cache
 	if cache == nil || cache.Program() != p {
 		cache = parallel.NewStateCache(p, 0, reg)
 	}
-	return parallel.ForEachOpt(ctx, workers, len(plan.Points), func(ctx context.Context, pi int) error {
-		task := tasks[pi]
-		t0 := time.Now()
-		m, err := cache.MachineAt(ctx, task.warmStart)
-		if err != nil {
-			return fmt.Errorf("pipeline: fast-forward in %s: %w", plan.Benchmark, err)
+	chunks := planPartition(plan, tasks, workers)
+	reg.Gauge("pipeline.plan_chunks").Set(float64(len(chunks)))
+	stage := opts.Obs.Progress().Stage("pipeline.points")
+	stage.AddTotal(int64(len(plan.Points)))
+	return parallel.ForEachOpt(ctx, len(chunks), len(chunks), func(ctx context.Context, k int) error {
+		var m *emu.Machine
+		for pi := chunks[k].Start; pi < chunks[k].End; pi++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			task := tasks[pi]
+			t0 := time.Now()
+			if m == nil || m.Insts > task.warmStart {
+				// First point of the chunk (or, defensively, a machine
+				// past the cursor): materialize from the shared cache,
+				// publishing the chunk-start state for other executions.
+				var err error
+				m, err = cache.MachineAt(ctx, task.warmStart)
+				if err != nil {
+					return fmt.Errorf("pipeline: fast-forward in %s: %w", plan.Benchmark, err)
+				}
+				m.Metrics = reg
+			} else if m.Insts < task.warmStart {
+				if err := fastForward(ctx, m, task.warmStart); err != nil {
+					return fmt.Errorf("pipeline: fast-forward in %s: %w", plan.Benchmark, err)
+				}
+			}
+			rec, err := runPoint(m, cfg, reg, plan, pi, task, opts, t0)
+			if err != nil {
+				return err
+			}
+			recs[pi] = rec
+			stage.Add(1)
 		}
-		m.Metrics = reg
-		rec, err := runPoint(m, cfg, reg, plan, pi, task, opts, t0)
-		if err != nil {
+		return nil
+	}, parallel.ForEachOptions{Metrics: reg})
+}
+
+// fastForward advances m to instruction position pos in cancellation-
+// checked slices (the in-chunk analogue of the state cache's build
+// loop).
+func fastForward(ctx context.Context, m *emu.Machine, pos uint64) error {
+	const slice = 1 << 20
+	for m.Insts < pos {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
-		recs[pi] = rec
-		return nil
-	}, parallel.ForEachOptions{Metrics: reg, Stage: opts.Obs.Progress().Stage("pipeline.points")})
+		step := pos - m.Insts
+		if step > slice {
+			step = slice
+		}
+		n, err := m.Run(step)
+		if err != nil {
+			return fmt.Errorf("fast-forward to instruction %d of %s: %w", pos, m.Prog.Name, err)
+		}
+		if n < step && m.Halted {
+			return fmt.Errorf("%s halted at instruction %d before reaching %d", m.Prog.Name, m.Insts, pos)
+		}
+	}
+	return nil
 }
 
 // journalPoint emits one per-point journal record. The record carries
