@@ -24,10 +24,11 @@ import (
 // added the substrate micro-benchmarks (see micro.go); schema 3 added
 // the provenance block and the ExecutePlan worker curve; schema 4
 // added the superblock-kernel throughput and the chunked-scheduler
-// partition counts. Every schema-3 field is retained unchanged, so
-// `mlpa bench -compare` works across the whole BENCH_*.json
-// trajectory.
-const benchSchema = 4
+// partition counts; schema 5 added the checkpoint round-trip micros
+// and the scratch-vs-checkpoint config-sweep series. Every earlier
+// field is retained unchanged, so `mlpa bench -compare` works across
+// the whole BENCH_*.json trajectory.
+const benchSchema = 5
 
 // gateParallelSlack is the measurement-noise allowance of the
 // -gate-parallel check: workers=4 must not be slower than workers=1 by

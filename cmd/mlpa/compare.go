@@ -36,9 +36,10 @@ const (
 type metricKind int
 
 const (
-	kindMIPS metricKind = iota // higher is better, rate in M-inst/s
-	kindWall                   // lower is better, nanoseconds
-	kindDev                    // lower is better, relative deviation
+	kindMIPS  metricKind = iota // higher is better, rate in M-inst/s
+	kindWall                    // lower is better, nanoseconds
+	kindDev                     // lower is better, relative deviation
+	kindRatio                   // higher is better, dimensionless multiple
 )
 
 // compareFinding is one compared metric family.
@@ -62,7 +63,7 @@ func (c *compareFinding) finish() {
 		return
 	}
 	worse := c.Shift.Rel > 0 // wall and deviation regress upward
-	if c.Kind == kindMIPS {
+	if c.Kind == kindMIPS || c.Kind == kindRatio {
 		worse = c.Shift.Rel < 0
 	}
 	if worse {
@@ -162,10 +163,56 @@ func compareReports(oldRep, newRep *benchReport) ([]compareFinding, []string) {
 			scalar(fmt.Sprintf("micro.plan_wall[workers=%s]", workers), kindWall, minRelWall,
 				float64(planWall(om, workers)), float64(planWall(nm, workers)))
 		}
+		// Schema 5. Each checkpoint metric gates only when both reports
+		// carry it, so schema-4 baselines stay accepted: the new columns
+		// simply do not appear until the baseline is regenerated.
+		if om.CkptSaveNs > 0 && nm.CkptSaveNs > 0 {
+			scalar("micro.ckpt_save", kindWall, minRelWall, float64(om.CkptSaveNs), float64(nm.CkptSaveNs))
+		}
+		if om.CkptRestoreNs > 0 && nm.CkptRestoreNs > 0 {
+			scalar("micro.ckpt_restore", kindWall, minRelWall, float64(om.CkptRestoreNs), float64(nm.CkptRestoreNs))
+		}
+		if oldS, newS := sweepPairs(om, nm); len(oldS[0]) > 0 {
+			for i, mode := range []string{"scratch", "ckpt"} {
+				c := compareFinding{Metric: "micro.sweep_wall[" + mode + "]", Kind: kindWall, N: len(oldS[i]),
+					Shift: changepoint.ShiftTest(oldS[i], newS[i], changepoint.ShiftOptions{MinRel: minRelWall})}
+				c.finish()
+				out = append(out, c)
+			}
+		}
+		if om.SweepSpeedup > 0 && nm.SweepSpeedup > 0 {
+			scalar("micro.sweep_speedup", kindRatio, minRelWall, om.SweepSpeedup, nm.SweepSpeedup)
+		}
 	}
 
 	out = append(out, compareMethodSeries(oldRep, newRep)...)
 	return out, warnings
+}
+
+// sweepPairs pairs the two reports' schema-5 sweep series by config
+// name and returns the scratch and ckpt walls as matched old/new
+// series ([2][]float64 each, indexed scratch=0, ckpt=1). Empty when
+// either report predates schema 5 or no config is shared.
+func sweepPairs(om, nm *microReport) (oldS, newS [2][]float64) {
+	byConfig := func(m *microReport) map[string]sweepSample {
+		idx := make(map[string]sweepSample, len(m.SweepSeries))
+		for _, s := range m.SweepSeries {
+			idx[s.Config] = s
+		}
+		return idx
+	}
+	newIdx := byConfig(nm)
+	for _, o := range om.SweepSeries {
+		n, ok := newIdx[o.Config]
+		if !ok {
+			continue
+		}
+		oldS[0] = append(oldS[0], float64(o.ScratchNs))
+		newS[0] = append(newS[0], float64(n.ScratchNs))
+		oldS[1] = append(oldS[1], float64(o.CkptNs))
+		newS[1] = append(newS[1], float64(n.CkptNs))
+	}
+	return oldS, newS
 }
 
 // planWall reads the ExecutePlan wall for a worker count from either
@@ -318,6 +365,8 @@ func formatMetricValue(kind metricKind, v float64) string {
 		return fmt.Sprintf("%.1f M/s", v)
 	case kindWall:
 		return time.Duration(v).Round(10 * time.Microsecond).String()
+	case kindRatio:
+		return fmt.Sprintf("%.2fx", v)
 	default:
 		return fmt.Sprintf("%.3f%%", v*100)
 	}

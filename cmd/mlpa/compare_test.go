@@ -26,6 +26,16 @@ func fixtureReport() *benchReport {
 			PlanWalls: map[string]int64{
 				"1": 46_000_000, "2": 70_000_000, "4": 108_000_000, "8": 150_000_000,
 			},
+			CkptSaveNs:    900_000,
+			CkptRestoreNs: 400_000,
+			SweepSeries: []sweepSample{
+				{Config: "A", ScratchNs: 50_000_000, CkptNs: 16_000_000},
+				{Config: "B", ScratchNs: 52_000_000, CkptNs: 17_000_000},
+				{Config: "A-slowmem", ScratchNs: 51_000_000, CkptNs: 16_500_000},
+				{Config: "A-smallL2", ScratchNs: 50_500_000, CkptNs: 16_200_000},
+			},
+			SweepBuildNs: 30_000_000,
+			SweepSpeedup: 2.1,
 		},
 		Provenance: captureProvenance(),
 	}
@@ -168,6 +178,71 @@ func TestComparePlanWallSchemaBridge(t *testing.T) {
 	}
 	if !schemaWarned || !provWarned {
 		t.Errorf("missing schema/provenance warnings: %v", warnings)
+	}
+}
+
+// TestCompareCkptSchemaBridge: a schema-4 baseline (no checkpoint
+// micros) still compares cleanly against a schema-5 report — the
+// checkpoint metrics simply do not appear — and once both sides carry
+// them, a collapsed sweep speedup gates while an improved one does
+// not.
+func TestCompareCkptSchemaBridge(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := fixtureReport()
+	oldRep.Schema = 4
+	oldRep.Micro.CkptSaveNs = 0
+	oldRep.Micro.CkptRestoreNs = 0
+	oldRep.Micro.SweepSeries = nil
+	oldRep.Micro.SweepBuildNs = 0
+	oldRep.Micro.SweepSpeedup = 0
+	newRep := fixtureReport()
+	oldPath := writeReport(t, dir, "old.json", oldRep)
+	newPath := writeReport(t, dir, "new.json", newRep)
+	if err := run([]string{"bench", "-compare", oldPath, newPath}); err != nil {
+		t.Fatalf("schema-4 baseline rejected against schema-5 report: %v", err)
+	}
+	findings, warnings := compareReports(oldRep, newRep)
+	for _, c := range findings {
+		if strings.Contains(c.Metric, "ckpt") || strings.Contains(c.Metric, "sweep") {
+			t.Errorf("metric %s compared against a baseline that cannot carry it", c.Metric)
+		}
+	}
+	var schemaWarned bool
+	for _, w := range warnings {
+		schemaWarned = schemaWarned || strings.Contains(w, "schema mismatch")
+	}
+	if !schemaWarned {
+		t.Errorf("no schema warning for 4-vs-5 comparison: %v", warnings)
+	}
+
+	// Both sides schema 5: halving the sweep speedup is a regression
+	// that names the metric; doubling it is an improvement, not a gate
+	// failure.
+	slower := fixtureReport()
+	slower.Micro.SweepSpeedup = fixtureReport().Micro.SweepSpeedup / 2
+	for i := range slower.Micro.SweepSeries {
+		slower.Micro.SweepSeries[i].CkptNs *= 3
+	}
+	err := run([]string{"bench", "-compare",
+		writeReport(t, dir, "base.json", fixtureReport()),
+		writeReport(t, dir, "slower.json", slower)})
+	if err == nil {
+		t.Fatal("halved sweep speedup passed the gate")
+	}
+	if !strings.Contains(err.Error(), "micro.sweep_speedup") {
+		t.Errorf("gate failure does not name micro.sweep_speedup: %v", err)
+	}
+	if !strings.Contains(err.Error(), "micro.sweep_wall[ckpt]") {
+		t.Errorf("gate failure does not name micro.sweep_wall[ckpt]: %v", err)
+	}
+
+	faster := fixtureReport()
+	faster.Micro.SweepSpeedup = fixtureReport().Micro.SweepSpeedup * 2
+	findings, _ = compareReports(fixtureReport(), faster)
+	for _, c := range findings {
+		if c.Metric == "micro.sweep_speedup" && c.Verdict != "improvement" {
+			t.Errorf("doubled sweep speedup verdict = %q, want improvement", c.Verdict)
+		}
 	}
 }
 

@@ -9,6 +9,9 @@
 //	mlpa motivation                 Section III coarse-phase analysis
 //	mlpa ablation [-bench name]     design-choice sweeps (granularity, Kmax, ...)
 //	mlpa checkpoint [-bench -method -dir] checkpointed-point simulation flow
+//	mlpa ckpt save -dir d [-bench -method]  build + persist a portable checkpoint set
+//	mlpa ckpt info -dir d                verify a set's integrity and describe it
+//	mlpa ckpt exec -dir d [-config A,B]  zero-fast-forward estimates from a set
 //	mlpa bench [-config A,B -dir d]  machine-readable BENCH_<date>.json harness
 //	mlpa bench -compare old.json new.json  gate on significant perf regressions
 //	mlpa inspect <run.jsonl>        render a recorded run journal
@@ -218,10 +221,18 @@ func (f *flags) cpuConfigs() ([]cpu.Config, error) {
 
 func run(args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mlpa <fig1|fig3|fig4|table2|table3|points|motivation|ablation|checkpoint|bench|inspect|analyze|serve|loadtest|all> [flags]")
+		return fmt.Errorf("usage: mlpa <fig1|fig3|fig4|table2|table3|points|motivation|ablation|checkpoint|ckpt|bench|inspect|analyze|serve|loadtest|all> [flags]")
 	}
 	cmd := args[0]
-	f, err := parseFlags(cmd, args[1:])
+	fargs := args[1:]
+	// ckpt takes its subcommand before the flags (mlpa ckpt save -dir d);
+	// lift it out so the flag parser sees only flags.
+	var ckptSub string
+	if cmd == "ckpt" && len(fargs) > 0 && !strings.HasPrefix(fargs[0], "-") {
+		ckptSub = fargs[0]
+		fargs = fargs[1:]
+	}
+	f, err := parseFlags(cmd, fargs)
 	if err != nil {
 		return err
 	}
@@ -265,6 +276,8 @@ func run(args []string) (err error) {
 		return runAblations(f)
 	case "checkpoint":
 		return runCheckpoint(f)
+	case "ckpt":
+		return runCkpt(f, ckptSub)
 	case "bench":
 		return runBench(f)
 	case "analyze":

@@ -15,11 +15,13 @@ import (
 // test` unless -v).
 
 func TestMain(m *testing.M) {
-	// Silence subcommand output during tests.
+	// Silence subcommand output during tests. Set MLPA_TEST_STDOUT=1 to
+	// keep it (and the test framework's own failure output) visible.
 	old := os.Stdout
-	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err == nil {
-		os.Stdout = devnull
+	if os.Getenv("MLPA_TEST_STDOUT") == "" {
+		if devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0); err == nil {
+			os.Stdout = devnull
+		}
 	}
 	code := m.Run()
 	os.Stdout = old

@@ -9,10 +9,14 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"mlpa/internal/ckpt"
+	"mlpa/internal/config"
+	"mlpa/internal/cpu"
 	"mlpa/internal/emu"
 	"mlpa/internal/experiments"
 	"mlpa/internal/kmeans"
@@ -52,6 +56,58 @@ type microReport struct {
 	// the wall curve: equal chunk counts mean the scheduler decided the
 	// extra workers could not pay for their startup.
 	PlanChunks map[string]int `json:"plan_chunks_by_workers,omitempty"`
+
+	// Checkpoint round trip (schema 5): the wall cost of persisting one
+	// portable checkpoint set for the same plan to disk, and of loading
+	// it back into runnable machines (integrity verification included).
+	// Both are best-of-three over the whole set.
+	CkptSaveNs    int64 `json:"ckpt_save_ns,omitempty"`
+	CkptRestoreNs int64 `json:"ckpt_restore_ns,omitempty"`
+	// Sweep (schema 5): a 4-config sensitivity sweep over the same
+	// plan, from scratch — every config pays its own fast-forward, the
+	// shape of independent sweep jobs — versus checkpoint-backed, where
+	// fast-forward is paid once when the set is built and every config
+	// restores. SweepBuildNs is that one-time set construction, and
+	// SweepSpeedup = total scratch / (build + total ckpt) — the number
+	// the checkpoint subsystem is judged by.
+	SweepSeries  []sweepSample `json:"sweep_wall_scratch_vs_ckpt,omitempty"`
+	SweepBuildNs int64         `json:"sweep_ckpt_build_ns,omitempty"`
+	SweepSpeedup float64       `json:"sweep_speedup,omitempty"`
+}
+
+// sweepSample is one config's scratch-vs-checkpoint wall pair in the
+// schema-5 sweep series.
+type sweepSample struct {
+	Config    string `json:"config"`
+	ScratchNs int64  `json:"scratch_ns"`
+	CkptNs    int64  `json:"ckpt_ns"`
+}
+
+// Warm policy of the checkpoint micros. Warmup is finite and modest:
+// in the sweep scenario each point's warm window is the only pre-point
+// work a checkpoint cannot skip, so the scratch-vs-ckpt gap is exactly
+// the plain fast-forward to each warm start. Estimates are
+// bit-identical between the two modes under any one policy; the policy
+// only sets how much fast-forward there is to save.
+const (
+	microSweepWarmup = 1 << 12
+	microSweepLeadIn = 256
+)
+
+// microSweepConfigs is the 4-point sensitivity sweep of the checkpoint
+// micros: Table I's A and B plus two variants of A that move only the
+// memory system — the axis checkpoint-backed sweeps exist to explore.
+// Four configs is the sweep width the checkpoint-reuse speedup target
+// is specified at.
+func microSweepConfigs() []cpu.Config {
+	slow := config.BaseA()
+	slow.Name = "A-slowmem"
+	slow.Caches.MemFirst, slow.Caches.MemNext = 300, 20
+	small := config.BaseA()
+	small.Name = "A-smallL2"
+	small.Caches.L2.TotalBytes = 256 << 10
+	small.Caches.L2.Latency = 12
+	return []cpu.Config{config.BaseA(), config.SensitivityB(), slow, small}
 }
 
 // microPlanWorkers is the ExecutePlan fan-out curve the bench report
@@ -213,6 +269,91 @@ func runMicro(f *flags) (*microReport, error) {
 		}
 	}
 
+	// Checkpoint round trip and the scratch-vs-ckpt sweep (schema 5).
+	sweepOpts := func() pipeline.ExecOptions {
+		return pipeline.ExecOptions{
+			Warmup: microSweepWarmup, DetailLeadIn: microSweepLeadIn,
+			Obs: f.rt, Workers: 1, Ctx: f.ctx,
+		}
+	}
+	buildStart := time.Now()
+	set, err := pipeline.BuildCheckpointSet(p, plan, sweepOpts())
+	if err != nil {
+		return nil, err
+	}
+	rep.SweepBuildNs = time.Since(buildStart).Nanoseconds()
+
+	ckptDir, err := os.MkdirTemp("", "mlpa-bench-ckpt-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(ckptDir)
+	for attempt := 0; attempt < 3; attempt++ {
+		t0 := time.Now()
+		if err := set.Save(ckptDir); err != nil {
+			return nil, err
+		}
+		if w := time.Since(t0).Nanoseconds(); attempt == 0 || w < rep.CkptSaveNs {
+			rep.CkptSaveNs = w
+		}
+	}
+	// Restore the way the pipeline does: one machine per chunk, every
+	// further state restored in place (O(touched pages) via the dirty-
+	// page tracker), so the micro tracks the cost that actually bounds
+	// checkpoint-backed execution.
+	for attempt := 0; attempt < 3; attempt++ {
+		t0 := time.Now()
+		loaded, err := ckpt.Load(ckptDir)
+		if err != nil {
+			return nil, err
+		}
+		var m *emu.Machine
+		for i := range loaded.States {
+			if m == nil {
+				if m, err = loaded.States[i].NewMachine(loaded.Program); err != nil {
+					return nil, err
+				}
+			} else if err := loaded.States[i].RestoreInto(m); err != nil {
+				return nil, err
+			}
+		}
+		if w := time.Since(t0).Nanoseconds(); attempt == 0 || w < rep.CkptRestoreNs {
+			rep.CkptRestoreNs = w
+		}
+	}
+
+	// Scratch walls use a private state cache per config (opts.Cache
+	// nil), the shape of independent sweep jobs; checkpoint-backed
+	// walls share nothing but the set. Both modes must agree exactly —
+	// the sweep is a perf comparison, never an accuracy trade.
+	var scratchTotal, ckptTotal int64
+	for _, cfg := range microSweepConfigs() {
+		t0 := time.Now()
+		sEst, err := pipeline.ExecutePlan(p, plan, cfg, sweepOpts())
+		if err != nil {
+			return nil, err
+		}
+		scratchNs := time.Since(t0).Nanoseconds()
+		opts := sweepOpts()
+		opts.Checkpoints = set
+		t0 = time.Now()
+		cEst, err := pipeline.ExecutePlan(p, plan, cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		ckptNs := time.Since(t0).Nanoseconds()
+		if sEst.CPI != cEst.CPI {
+			return nil, fmt.Errorf("micro sweep config %s: checkpoint-backed CPI %v differs from scratch %v",
+				cfg.Name, cEst.CPI, sEst.CPI)
+		}
+		rep.SweepSeries = append(rep.SweepSeries, sweepSample{Config: cfg.Name, ScratchNs: scratchNs, CkptNs: ckptNs})
+		scratchTotal += scratchNs
+		ckptTotal += ckptNs
+	}
+	if denom := rep.SweepBuildNs + ckptTotal; denom > 0 {
+		rep.SweepSpeedup = float64(scratchTotal) / float64(denom)
+	}
+
 	planCurve := make([]string, 0, len(microPlanWorkers))
 	for _, workers := range microPlanWorkers {
 		planCurve = append(planCurve, fmt.Sprintf("%d:%v", workers,
@@ -222,5 +363,13 @@ func runMicro(f *flags) (*microReport, error) {
 		rep.EmuFastMIPS, rep.EmuSuperblockMIPS, rep.EmuHookedMIPS, rep.EmuStepMIPS, rep.EmuSpeedup,
 		time.Duration(rep.KMeansWall).Round(time.Millisecond),
 		strings.Join(planCurve, " "))
+	fmt.Printf("micro: ckpt save %v, restore %v, %d-config sweep scratch %v vs build %v + ckpt %v (%.2fx)\n",
+		time.Duration(rep.CkptSaveNs).Round(time.Microsecond),
+		time.Duration(rep.CkptRestoreNs).Round(time.Microsecond),
+		len(rep.SweepSeries),
+		time.Duration(scratchTotal).Round(time.Millisecond),
+		time.Duration(rep.SweepBuildNs).Round(time.Millisecond),
+		time.Duration(ckptTotal).Round(time.Millisecond),
+		rep.SweepSpeedup)
 	return rep, nil
 }

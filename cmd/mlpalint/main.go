@@ -3,8 +3,9 @@
 // internal/staticanalysis):
 //
 //   - time-now: no time.Now in deterministic simulation packages
-//     (internal/emu, internal/cpu, internal/kmeans); wall-clock reads
-//     there would make simulated results time-dependent.
+//     (internal/emu, internal/cpu, internal/kmeans, internal/ckpt);
+//     wall-clock reads there would make simulated results (or
+//     checkpoint bytes, which are content-hashed) time-dependent.
 //   - unseeded-rand: no package-level math/rand calls in the same
 //     packages; randomness must flow through an explicitly seeded
 //     *rand.Rand so runs stay reproducible.
@@ -71,6 +72,10 @@ var deterministicPkgs = map[string]bool{
 	"internal/emu":    true,
 	"internal/cpu":    true,
 	"internal/kmeans": true,
+	// Checkpoint encode/decode must be bit-stable: the on-disk bytes
+	// are content-hashed and reused as cache keys, so a wall-clock or
+	// unseeded-rand dependence would silently break set identity.
+	"internal/ckpt": true,
 }
 
 // rule is one lint rule: its name (as used by `//mlpalint:allow`) and

@@ -504,3 +504,66 @@ func goodBudget(codeLen int) int {
 		}
 	}
 }
+
+// TestLintCoversCheckpointPackage pins internal/ckpt into the
+// deterministic scope: checkpoint bytes are content-hashed and used as
+// cache keys, so a wall-clock header stamp or an unseeded-rand salt in
+// the encoder would silently fork set identity. Both must be flagged,
+// while the pure encoder constructs pass, and panic stays banned like
+// in any library package.
+func TestLintCoversCheckpointPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/ckpt/wire.go": `package ckpt
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badStamp would make two encodings of the same state differ.
+func badStamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// badSalt would randomize the wire bytes.
+func badSalt() uint64 {
+	return rand.Uint64()
+}
+
+// goodEncode is the acceptable form: a pure function of the state.
+func goodEncode(words []uint64) int {
+	n := 0
+	for _, w := range words {
+		if w != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func badReject(n int) {
+	if n < 0 {
+		panic("negative")
+	}
+}
+`,
+	})
+	fs, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"internal/ckpt/wire.go:10:time-now",
+		"internal/ckpt/wire.go:15:unseeded-rand",
+		"internal/ckpt/wire.go:31:panic",
+	}
+	got := keys(fs)
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package ckpt_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mlpa/internal/ckpt"
+	"mlpa/internal/emu"
+	"mlpa/internal/prog"
+	"mlpa/internal/sampling"
+	"mlpa/internal/staticanalysis/dataflow"
+)
+
+// captureAt runs a fresh tracking machine for p to position insts and
+// captures the state there.
+func captureAt(t *testing.T, p *prog.Program, insts uint64, index int) (*ckpt.State, *emu.Machine) {
+	t.Helper()
+	m := emu.New(p, 0)
+	m.TrackDirtyPages()
+	if _, err := m.Run(insts); err != nil {
+		t.Fatal(err)
+	}
+	li, err := liveInAt(p, m.PC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ckpt.Capture(m, index, li)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, m
+}
+
+func liveInAt(p *prog.Program, pc int64) (sampling.LiveIn, error) {
+	live, mem, err := dataflow.For(p).LiveInAt(pc)
+	if err != nil {
+		return sampling.LiveIn{}, err
+	}
+	ints, fps := live.Split()
+	return sampling.LiveIn{PC: pc, Int: ints, FP: fps, Mem: mem}, nil
+}
+
+// TestStateEncodeDecodeRoundTrip: decode∘encode is the identity on
+// captured states, for every example program at several positions.
+func TestStateEncodeDecodeRoundTrip(t *testing.T) {
+	for _, p := range prog.Examples() {
+		for _, pos := range []uint64{0, 1, 1000, 37_501} {
+			st, _ := captureAt(t, p, pos, 3)
+			data, err := st.Encode()
+			if err != nil {
+				t.Fatalf("%s@%d: encode: %v", p.Name, pos, err)
+			}
+			back, err := ckpt.Decode(data)
+			if err != nil {
+				t.Fatalf("%s@%d: decode: %v", p.Name, pos, err)
+			}
+			if !reflect.DeepEqual(st, back) {
+				t.Fatalf("%s@%d: decode(encode(s)) != s", p.Name, pos)
+			}
+		}
+	}
+}
+
+// TestRestoreReplaysIdentically: a machine restored from a checkpoint
+// must execute exactly like the machine it was captured from —
+// identical PC/instruction trajectory, memory image and block counts —
+// even though its statically-dead registers were scrubbed.
+func TestRestoreReplaysIdentically(t *testing.T) {
+	for _, p := range prog.Examples() {
+		t.Run(p.Name, func(t *testing.T) {
+			st, orig := captureAt(t, p, 20_000, 0)
+			restored, err := st.NewMachine(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored.PC != orig.PC || restored.Insts != orig.Insts {
+				t.Fatalf("restored at pc=%d insts=%d, captured at pc=%d insts=%d",
+					restored.PC, restored.Insts, orig.PC, orig.Insts)
+			}
+			ref := orig.Clone()
+			ref.ResetBlockCounts()
+			const forward = 30_000
+			if _, err := ref.Run(forward); err != nil && !ref.Halted {
+				t.Fatal(err)
+			}
+			if _, err := restored.Run(forward); err != nil && !restored.Halted {
+				t.Fatal(err)
+			}
+			if restored.PC != ref.PC || restored.Insts != ref.Insts || restored.Halted != ref.Halted {
+				t.Fatalf("replay diverged: restored pc=%d insts=%d halted=%v, reference pc=%d insts=%d halted=%v",
+					restored.PC, restored.Insts, restored.Halted, ref.PC, ref.Insts, ref.Halted)
+			}
+			if !reflect.DeepEqual(restored.BlockCounts, ref.BlockCounts) {
+				t.Fatal("replay diverged: block counts differ")
+			}
+			for w := int64(0); w < ref.MemWords(); w++ {
+				if restored.LoadWord(w<<3) != ref.LoadWord(w<<3) {
+					t.Fatalf("replay diverged: memory word %d differs", w)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsCorruption: flipping any byte of a valid encoding
+// must fail decoding with a structured error — ErrIntegrity for
+// payload damage, ErrFormat for structural damage — and truncations
+// must fail too. No corruption may decode successfully.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	st, _ := captureAt(t, prog.Examples()[0], 10_000, 0)
+	data, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		_, err := ckpt.Decode(bad)
+		if err == nil {
+			t.Fatalf("byte %d: corruption decoded successfully", i)
+		}
+		if !errors.Is(err, ckpt.ErrIntegrity) && !errors.Is(err, ckpt.ErrFormat) {
+			t.Fatalf("byte %d: unstructured error %v", i, err)
+		}
+	}
+	for _, n := range []int{0, 1, 7, 8, 9, len(data) / 2, len(data) - 1} {
+		if _, err := ckpt.Decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+}
+
+// TestEncodeRejectsUnscrubbedState: the format's invariant is that
+// dead registers are zero; Encode refuses to produce a violating blob
+// and Decode refuses to accept one.
+func TestEncodeRejectsUnscrubbedState(t *testing.T) {
+	st, _ := captureAt(t, prog.Examples()[0], 5_000, 0)
+	for i := 1; i < 32; i++ {
+		if st.LiveIn.Int&(1<<uint(i)) == 0 {
+			st.IntRegs[i] = 99
+			break
+		}
+	}
+	if _, err := st.Encode(); !errors.Is(err, ckpt.ErrFormat) {
+		t.Fatalf("encode of unscrubbed state: %v, want ErrFormat", err)
+	}
+}
+
+// testSet builds a small but real set: two points on an example
+// program, captured at their warm starts.
+func testSet(t *testing.T, p *prog.Program) *ckpt.Set {
+	t.Helper()
+	plan := &sampling.Plan{
+		Benchmark:  p.Name,
+		Method:     "test",
+		TotalInsts: 60_000,
+		Points: []sampling.Point{
+			{Start: 10_000, End: 15_000, Weight: 0.5, Level: 1, Parent: -1},
+			{Start: 40_000, End: 45_000, Weight: 0.5, Level: 1, Parent: -1},
+		},
+	}
+	set := &ckpt.Set{
+		ProgramName: p.Name,
+		ProgramHash: ckpt.ProgramHash(p),
+		Assembly:    p.Disassemble(),
+		DataSize:    p.DataSize,
+		Plan:        plan,
+		Policy:      ckpt.Policy{Warmup: 4096, DetailLeadIn: 512, RunAhead: 128},
+		Program:     p,
+	}
+	m := emu.New(p, 0)
+	m.TrackDirtyPages()
+	for i, pt := range plan.Points {
+		warmStart := pt.Start - 4096 - 512
+		if _, err := m.Run(warmStart - m.Insts); err != nil {
+			t.Fatal(err)
+		}
+		li, err := liveInAt(p, m.PC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := ckpt.Capture(m, i, li)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set.States = append(set.States, st)
+	}
+	return set
+}
+
+// TestSetSaveLoadRoundTrip: Save → Load reproduces the set (program
+// reassembled from the embedded code image, states bit-equal) and
+// Verify passes.
+func TestSetSaveLoadRoundTrip(t *testing.T) {
+	p := prog.Examples()[0]
+	set := testSet(t, p)
+	dir := t.TempDir()
+	if err := set.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Verify(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ckpt.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ProgramHash != set.ProgramHash || back.DataSize != set.DataSize {
+		t.Fatal("program identity did not round-trip")
+	}
+	if !reflect.DeepEqual(back.Plan, set.Plan) || back.Policy != set.Policy {
+		t.Fatal("plan or policy did not round-trip")
+	}
+	if !reflect.DeepEqual(back.States, set.States) {
+		t.Fatal("states did not round-trip")
+	}
+	if back.Program == nil || ckpt.ProgramHash(back.Program) != set.ProgramHash {
+		t.Fatal("reassembled program does not hash to the set's program hash")
+	}
+	if err := back.Match(p, set.Plan, set.Policy); err != nil {
+		t.Fatalf("loaded set does not match its own inputs: %v", err)
+	}
+}
+
+// TestSetLoadRejectsTampering: one flipped byte anywhere in the layout
+// — a state file or the manifest — must be rejected with a structured
+// error.
+func TestSetLoadRejectsTampering(t *testing.T) {
+	p := prog.Examples()[0]
+	set := testSet(t, p)
+	dir := t.TempDir()
+	if err := set.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(t *testing.T, name string, flip int) {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := append([]byte(nil), data...)
+		bad[flip%len(bad)] ^= 0x01
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { os.WriteFile(path, data, 0o644) })
+		err = ckpt.Verify(dir)
+		if err == nil {
+			t.Fatalf("tampered %s verified successfully", name)
+		}
+		if !errors.Is(err, ckpt.ErrIntegrity) && !errors.Is(err, ckpt.ErrFormat) && !errors.Is(err, ckpt.ErrMismatch) {
+			t.Fatalf("tampered %s: unstructured error %v", name, err)
+		}
+	}
+	t.Run("state-file", func(t *testing.T) { corrupt(t, "point-0001.ckpt", 100) })
+	t.Run("manifest", func(t *testing.T) { corrupt(t, ckpt.ManifestFile, 200) })
+	t.Run("truncated-state", func(t *testing.T) {
+		path := filepath.Join(dir, "point-0000.ckpt")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { os.WriteFile(path, data, 0o644) })
+		if err := ckpt.Verify(dir); err == nil {
+			t.Fatal("truncated state file verified successfully")
+		}
+	})
+}
+
+// TestSetMatchRejectsMismatches: wrong policy, wrong plan and wrong
+// program all fail Match with ErrMismatch.
+func TestSetMatchRejectsMismatches(t *testing.T) {
+	examples := prog.Examples()
+	p := examples[0]
+	set := testSet(t, p)
+	if err := set.Match(p, set.Plan, ckpt.Policy{Warmup: 1}); !errors.Is(err, ckpt.ErrMismatch) {
+		t.Fatalf("wrong policy: %v, want ErrMismatch", err)
+	}
+	otherPlan := *set.Plan
+	otherPlan.Points = append([]sampling.Point(nil), set.Plan.Points...)
+	otherPlan.Points[1].Weight = 0.25
+	if err := set.Match(p, &otherPlan, set.Policy); !errors.Is(err, ckpt.ErrMismatch) {
+		t.Fatalf("wrong plan: %v, want ErrMismatch", err)
+	}
+	if err := set.Match(examples[1], set.Plan, set.Policy); !errors.Is(err, ckpt.ErrMismatch) {
+		t.Fatalf("wrong program: %v, want ErrMismatch", err)
+	}
+}

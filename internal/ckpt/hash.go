@@ -1,0 +1,25 @@
+package ckpt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+
+	"mlpa/internal/prog"
+)
+
+// ProgramHash is the content hash of a guest program: SHA-256 over its
+// name, data size and complete disassembly. It is the same key scheme
+// the serve daemon caches results under (internal/serve delegates
+// here), so checkpoint sets and cached estimates bind to the identical
+// program identity.
+func ProgramHash(p *prog.Program) string {
+	h := sha256.New()
+	h.Write([]byte("mlpa-program\x00"))
+	h.Write([]byte(p.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.FormatInt(p.DataSize, 10)))
+	h.Write([]byte{0})
+	h.Write([]byte(p.Disassemble()))
+	return hex.EncodeToString(h.Sum(nil))
+}

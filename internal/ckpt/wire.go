@@ -1,0 +1,58 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The wire layer: LEB128 varints (encoding/binary's varint codec) over
+// a flat byte slice. Unsigned values use Uvarint, signed values zigzag
+// via Varint, floats travel as their IEEE-754 bit patterns. The reader
+// is sticky-error: the first malformed read poisons it and every later
+// read returns zero, so decode loops stay linear and check once.
+
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+func (w *wbuf) i(v int64)  { w.b = binary.AppendVarint(w.b, v) }
+
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", ErrFormat, what, r.off)
+	}
+}
+
+func (r *rbuf) u() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("truncated or overlong varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *rbuf) i() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("truncated or overlong varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// rest returns how many bytes remain unread.
+func (r *rbuf) rest() int { return len(r.b) - r.off }

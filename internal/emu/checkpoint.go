@@ -128,6 +128,7 @@ func (m *Machine) LoadCheckpoint(r io.Reader) error {
 			return fmt.Errorf("emu: checkpoint memory value: %w", err)
 		}
 		m.mem[idx] = v
+		m.markDirty(int64(idx))
 	}
 	m.ResetBlockCounts()
 	return nil

@@ -1,0 +1,124 @@
+package emu
+
+import (
+	"reflect"
+	"testing"
+
+	"mlpa/internal/prog"
+)
+
+// nonZeroPages returns the sorted page indices holding non-zero words.
+func nonZeroPages(m *Machine) map[int64]bool {
+	out := make(map[int64]bool)
+	for i, v := range m.mem {
+		if v != 0 {
+			out[int64(i)>>pageShift] = true
+		}
+	}
+	return out
+}
+
+// TestDirtyPagesSupersetOfNonZero: after any run, the dirty set must
+// cover every page holding non-zero content — the invariant that makes
+// "clear memory, replay dirty pages" an exact restore.
+func TestDirtyPagesSupersetOfNonZero(t *testing.T) {
+	for _, p := range prog.Examples() {
+		t.Run(p.Name, func(t *testing.T) {
+			m := New(p, 0)
+			m.TrackDirtyPages()
+			if _, err := m.Run(200_000); err != nil && !m.Halted {
+				t.Fatal(err)
+			}
+			dirty := make(map[int64]bool)
+			for _, pg := range m.DirtyPages() {
+				dirty[pg] = true
+			}
+			for pg := range nonZeroPages(m) {
+				if !dirty[pg] {
+					t.Fatalf("page %d holds non-zero content but is not dirty", pg)
+				}
+			}
+		})
+	}
+}
+
+// TestDirtyPagesMatchStepLoop: the batched fast path (traces included)
+// and the Step reference must mark the identical dirty set.
+func TestDirtyPagesMatchStepLoop(t *testing.T) {
+	for _, p := range prog.Examples() {
+		t.Run(p.Name, func(t *testing.T) {
+			fast := New(p, 0)
+			fast.TrackDirtyPages()
+			ref := New(p, 0)
+			ref.TrackDirtyPages()
+			if _, err := fast.Run(100_000); err != nil && !fast.Halted {
+				t.Fatal(err)
+			}
+			for !ref.Halted && ref.Insts < 100_000 {
+				if _, err := ref.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got, want := fast.DirtyPages(), ref.DirtyPages(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("fast path dirty pages %v, Step loop %v", got, want)
+			}
+		})
+	}
+}
+
+// TestTrackDirtyPagesSeedsExistingContent: enabling tracking mid-run
+// must seed pages that already hold data, so a late enable still
+// satisfies the superset invariant.
+func TestTrackDirtyPagesSeedsExistingContent(t *testing.T) {
+	p := prog.Examples()[0]
+	m := New(p, 0)
+	if _, err := m.Run(50_000); err != nil && !m.Halted {
+		t.Fatal(err)
+	}
+	m.TrackDirtyPages()
+	dirty := make(map[int64]bool)
+	for _, pg := range m.DirtyPages() {
+		dirty[pg] = true
+	}
+	for pg := range nonZeroPages(m) {
+		if !dirty[pg] {
+			t.Fatalf("pre-existing non-zero page %d not seeded into dirty set", pg)
+		}
+	}
+}
+
+// TestDirtyPagesCloneIndependent: a clone inherits the dirty set but
+// subsequent writes diverge independently.
+func TestDirtyPagesCloneIndependent(t *testing.T) {
+	p := prog.Examples()[0]
+	m := New(p, 0)
+	m.TrackDirtyPages()
+	m.StoreWord(0, 1)
+	c := m.Clone()
+	c.StoreWord(int64(PageWords*8*5), 2) // page 5, bytes
+	if got := m.DirtyPages(); !reflect.DeepEqual(got, []int64{0}) {
+		t.Fatalf("original dirty set mutated through clone: %v", got)
+	}
+	if got := c.DirtyPages(); !reflect.DeepEqual(got, []int64{0, 5}) {
+		t.Fatalf("clone dirty set = %v, want [0 5]", got)
+	}
+}
+
+// TestDirtyPagesResetAndDisabled: Reset clears the set; without
+// TrackDirtyPages the machine reports none.
+func TestDirtyPagesResetAndDisabled(t *testing.T) {
+	p := prog.Examples()[0]
+	m := New(p, 0)
+	if m.TracksDirtyPages() || m.DirtyPages() != nil {
+		t.Fatal("tracking reported before TrackDirtyPages")
+	}
+	m.TrackDirtyPages()
+	m.StoreWord(64, 7)
+	if len(m.DirtyPages()) == 0 {
+		t.Fatal("store did not dirty a page")
+	}
+	m.Reset()
+	if got := m.DirtyPages(); len(got) != 0 {
+		t.Fatalf("dirty pages after Reset: %v", got)
+	}
+}

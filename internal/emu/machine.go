@@ -9,6 +9,7 @@ package emu
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 
 	"mlpa/internal/isa"
@@ -70,6 +71,7 @@ type Machine struct {
 	blockOf  []int32
 	haltedAt int64
 	dec      *predecoded // shared per-program fast-path representation
+	dirty    []uint64    // written-page bitmap; nil unless TrackDirtyPages
 }
 
 // DefaultMemWords is the data-memory size used when a program does not
@@ -120,19 +122,47 @@ func (m *Machine) Clone() *Machine {
 		dec:         m.dec,
 		NoTraces:    m.NoTraces,
 	}
+	if m.dirty != nil {
+		c.dirty = append([]uint64(nil), m.dirty...)
+	}
 	return c
 }
 
 // Reset rewinds the machine to the initial state (registers, memory,
-// PC, counters all zero).
+// PC, counters all zero). With dirty-page tracking enabled it zeroes
+// only the tracked pages — dirty pages are a superset of non-zero ones
+// — so a reset costs O(touched memory), not O(memory). That is what
+// makes restoring a sequence of checkpoints into one machine cheap.
 func (m *Machine) Reset() {
 	m.IntRegs = [isa.NumIntRegs]int64{}
 	m.FPRegs = [isa.NumFPRegs]float64{}
-	clear(m.mem)
+	if m.dirty == nil {
+		clear(m.mem)
+	} else {
+		m.scrubDirtyPages()
+	}
 	m.PC = 0
 	m.Halted = false
 	m.Insts = 0
 	m.ResetBlockCounts()
+	// All-zero memory has no pages worth capturing.
+	clear(m.dirty)
+}
+
+// scrubDirtyPages zeroes every page in the dirty set.
+func (m *Machine) scrubDirtyPages() {
+	for wi, w := range m.dirty {
+		for w != 0 {
+			p := int64(wi)<<6 | int64(bits.TrailingZeros64(w))
+			lo := p << pageShift
+			hi := lo + PageWords
+			if hi > int64(len(m.mem)) {
+				hi = int64(len(m.mem))
+			}
+			clear(m.mem[lo:hi])
+			w &= w - 1
+		}
+	}
 }
 
 // ResetBlockCounts zeroes the BBV accumulator (used at interval
@@ -155,7 +185,11 @@ func (m *Machine) MemWords() int64 { return int64(len(m.mem)) }
 func (m *Machine) LoadWord(addr int64) uint64 { return m.mem[(addr>>3)&m.memMask] }
 
 // StoreWord writes the data word at virtual byte address addr.
-func (m *Machine) StoreWord(addr int64, v uint64) { m.mem[(addr>>3)&m.memMask] = v }
+func (m *Machine) StoreWord(addr int64, v uint64) {
+	w := (addr >> 3) & m.memMask
+	m.mem[w] = v
+	m.markDirty(w)
+}
 
 // Step executes a single instruction and reports what happened. It is
 // the execution-driven interface used by the detailed timing model.
@@ -238,7 +272,9 @@ func (m *Machine) Step() (StepInfo, error) {
 	case isa.OpSt:
 		addr := m.geti(in.Rs1) + in.Imm
 		info.MemAddr = addr
-		m.mem[(addr>>3)&m.memMask] = uint64(m.geti(in.Rs2))
+		w := (addr >> 3) & m.memMask
+		m.mem[w] = uint64(m.geti(in.Rs2))
+		m.markDirty(w)
 	case isa.OpFld:
 		addr := m.geti(in.Rs1) + in.Imm
 		info.MemAddr = addr
@@ -246,7 +282,9 @@ func (m *Machine) Step() (StepInfo, error) {
 	case isa.OpFst:
 		addr := m.geti(in.Rs1) + in.Imm
 		info.MemAddr = addr
-		m.mem[(addr>>3)&m.memMask] = math.Float64bits(m.getf(in.Rs2))
+		w := (addr >> 3) & m.memMask
+		m.mem[w] = math.Float64bits(m.getf(in.Rs2))
+		m.markDirty(w)
 	case isa.OpFadd:
 		m.setFP(in.Rd, m.getf(in.Rs1)+m.getf(in.Rs2))
 	case isa.OpFsub:

@@ -159,8 +159,9 @@ func buildPredecode(p *prog.Program) *predecoded {
 // checks, no error paths, and no per-instruction accounting. The
 // return value is the index (relative to dc) of the first failing
 // guard, or -1 when the whole range ran; block-batched callers pass
-// guard-free ranges and ignore it.
-func execSpan(dc []dinst, from, to int64, R *[64]int64, F *[64]float64, mem []uint64, memMask int64) int64 {
+// guard-free ranges and ignore it. dirty, when non-nil, is the
+// machine's written-page bitmap (see dirty.go); stores mark it.
+func execSpan(dc []dinst, from, to int64, R *[64]int64, F *[64]float64, mem []uint64, memMask int64, dirty []uint64) int64 {
 	batch := dc[from:to]
 	for i := range batch {
 		d := &batch[i]
@@ -217,13 +218,23 @@ func execSpan(dc []dinst, from, to int64, R *[64]int64, F *[64]float64, mem []ui
 			R[d.rd&63] = int64(mem[(addr>>3)&memMask])
 		case isa.OpSt:
 			addr := R[d.rs1&63] + d.imm
-			mem[(addr>>3)&memMask] = uint64(R[d.rs2&63])
+			w := (addr >> 3) & memMask
+			mem[w] = uint64(R[d.rs2&63])
+			if dirty != nil {
+				p := uint64(w) >> pageShift
+				dirty[p>>6] |= 1 << (p & 63)
+			}
 		case isa.OpFld:
 			addr := R[d.rs1&63] + d.imm
 			F[d.fd&63] = math.Float64frombits(mem[(addr>>3)&memMask])
 		case isa.OpFst:
 			addr := R[d.rs1&63] + d.imm
-			mem[(addr>>3)&memMask] = math.Float64bits(F[d.fs2&63])
+			w := (addr >> 3) & memMask
+			mem[w] = math.Float64bits(F[d.fs2&63])
+			if dirty != nil {
+				p := uint64(w) >> pageShift
+				dirty[p>>6] |= 1 << (p & 63)
+			}
 		case isa.OpFadd:
 			F[d.fd&63] = F[d.fs1&63] + F[d.fs2&63]
 		case isa.OpFsub:

@@ -54,6 +54,7 @@ func (m *Machine) runFast(maxInsts uint64) (uint64, error) {
 	blockOf := m.blockOf
 	bc := m.BlockCounts
 	mem, mask := m.mem, m.memMask
+	dirty := m.dirty
 
 	var R [64]int64
 	copy(R[:32], m.IntRegs[:])
@@ -73,7 +74,7 @@ loop:
 		}
 		if traces != nil {
 			if tr := traces[pc]; tr != nil && (maxInsts == 0 || tr.total <= maxInsts-done) {
-				if gi := execSpan(tr.code, 0, int64(len(tr.code)), &R, &F, mem, mask); gi >= 0 {
+				if gi := execSpan(tr.code, 0, int64(len(tr.code)), &R, &F, mem, mask, dirty); gi >= 0 {
 					// Side exit: the guard at flat index gi failed. Its
 					// accounting snapshot covers exactly the segments
 					// that committed (the guard's own branch included).
@@ -110,7 +111,7 @@ loop:
 				// batch's final instruction is plain straight-line
 				// code, so the partial prefix needs no terminator
 				// handling.
-				execSpan(dc, pc, pc+int64(rem), &R, &F, mem, mask)
+				execSpan(dc, pc, pc+int64(rem), &R, &F, mem, mask, dirty)
 				bc[blockOf[pc]] += rem
 				done += rem
 				pc += int64(rem)
@@ -123,52 +124,52 @@ loop:
 		t := &dc[last]
 		switch isa.Op(t.op) {
 		case isa.OpHalt:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			m.Halted = true
 			m.haltedAt = last
 			pc = last
 			break loop
 		case isa.OpBeq:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			if R[t.rs1&63] == R[t.rs2&63] {
 				pc = t.imm
 			} else {
 				pc = last + 1
 			}
 		case isa.OpBne:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			if R[t.rs1&63] != R[t.rs2&63] {
 				pc = t.imm
 			} else {
 				pc = last + 1
 			}
 		case isa.OpBlt:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			if R[t.rs1&63] < R[t.rs2&63] {
 				pc = t.imm
 			} else {
 				pc = last + 1
 			}
 		case isa.OpBge:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			if R[t.rs1&63] >= R[t.rs2&63] {
 				pc = t.imm
 			} else {
 				pc = last + 1
 			}
 		case isa.OpJmp:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			pc = t.imm
 		case isa.OpJal:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			R[t.rd&63] = last + 1
 			pc = t.imm
 		case isa.OpJr:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			pc = R[t.rs1&63]
 		default:
 			// Fall-through batch: the final instruction is plain too.
-			execSpan(dc, pc, last+1, &R, &F, mem, mask)
+			execSpan(dc, pc, last+1, &R, &F, mem, mask, dirty)
 			pc = last + 1
 		}
 	}
@@ -193,6 +194,7 @@ func (m *Machine) runHooked(maxInsts uint64) (uint64, error) {
 	codeLen := int64(len(dc))
 	blockOf := m.blockOf
 	mem, mask := m.mem, m.memMask
+	dirty := m.dirty
 	hook := m.Branch
 
 	var R [64]int64
@@ -234,7 +236,7 @@ loop:
 		}
 		if maxInsts != 0 {
 			if rem := maxInsts - done; uint64(sp) > rem {
-				execSpan(dc, pc, pc+int64(rem), &R, &F, mem, mask)
+				execSpan(dc, pc, pc+int64(rem), &R, &F, mem, mask, dirty)
 				m.BlockCounts[blockOf[pc]] += rem
 				done += rem
 				pc += int64(rem)
@@ -247,13 +249,13 @@ loop:
 		t := &dc[last]
 		switch isa.Op(t.op) {
 		case isa.OpHalt:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			m.Halted = true
 			m.haltedAt = last
 			pc = last
 			break loop
 		case isa.OpBeq:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			if R[t.rs1&63] == R[t.rs2&63] {
 				fire(last, t.imm)
 				pc = t.imm
@@ -261,7 +263,7 @@ loop:
 				pc = last + 1
 			}
 		case isa.OpBne:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			if R[t.rs1&63] != R[t.rs2&63] {
 				fire(last, t.imm)
 				pc = t.imm
@@ -269,7 +271,7 @@ loop:
 				pc = last + 1
 			}
 		case isa.OpBlt:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			if R[t.rs1&63] < R[t.rs2&63] {
 				fire(last, t.imm)
 				pc = t.imm
@@ -277,7 +279,7 @@ loop:
 				pc = last + 1
 			}
 		case isa.OpBge:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			if R[t.rs1&63] >= R[t.rs2&63] {
 				fire(last, t.imm)
 				pc = t.imm
@@ -285,23 +287,23 @@ loop:
 				pc = last + 1
 			}
 		case isa.OpJmp:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			fire(last, t.imm)
 			pc = t.imm
 		case isa.OpJal:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			R[t.rd&63] = last + 1
 			fire(last, t.imm)
 			pc = t.imm
 		case isa.OpJr:
-			execSpan(dc, pc, last, &R, &F, mem, mask)
+			execSpan(dc, pc, last, &R, &F, mem, mask, dirty)
 			// Like Step, the jump target is read before the hook runs
 			// and is not re-read afterwards.
 			next := R[t.rs1&63]
 			fire(last, next)
 			pc = next
 		default:
-			execSpan(dc, pc, last+1, &R, &F, mem, mask)
+			execSpan(dc, pc, last+1, &R, &F, mem, mask, dirty)
 			pc = last + 1
 		}
 	}

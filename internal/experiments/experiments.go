@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mlpa/internal/bench"
+	"mlpa/internal/ckpt"
 	"mlpa/internal/coasts"
 	"mlpa/internal/cpu"
 	"mlpa/internal/linalg"
@@ -225,6 +226,22 @@ func NewStudy(o Options) (*Study, error) {
 	return st, nil
 }
 
+// execOpts is the plan-execution policy every Table II evaluation
+// runs under. The suite already fans out benchmark-wide, so each
+// plan's points run sequentially (the machine is not oversubscribed)
+// while the fast-forward cache is shared per benchmark.
+func (st *Study) execOpts(ctx context.Context, cache *parallel.StateCache) pipeline.ExecOptions {
+	return pipeline.ExecOptions{
+		Warmup:       st.Opts.Warmup,
+		DetailLeadIn: st.Opts.DetailLeadIn,
+		RunAhead:     st.Opts.RunAhead,
+		Obs:          st.Opts.Obs,
+		Workers:      1,
+		Ctx:          ctx,
+		Cache:        cache,
+	}
+}
+
 // ctx returns the study's context (never nil).
 func (o Options) ctx() context.Context {
 	if o.Ctx != nil {
@@ -381,6 +398,24 @@ func (st *Study) Table2(configs []cpu.Config) (*Table2Result, error) {
 			return err
 		}
 		cache := parallel.NewStateCache(p, 0, st.Opts.Obs.Metrics())
+		// Architectural state is configuration-independent, so one
+		// checkpoint set per method serves every sensitivity config in
+		// the sweep: the fast-forward to each point's warm start is paid
+		// once here and each config evaluation below restores in
+		// O(checkpoint size). Results stay bit-identical to from-scratch
+		// execution (pipeline's differential harness proves it).
+		sets := make(map[string]*ckpt.Set, len(Methods()))
+		for _, method := range Methods() {
+			plan, err := pl.ByMethod(method)
+			if err != nil {
+				return err
+			}
+			set, err := pipeline.BuildCheckpointSet(p, plan, st.execOpts(ctx, cache))
+			if err != nil {
+				return fmt.Errorf("experiments: checkpoint set for %s/%s: %w", pl.Spec.Name, method, err)
+			}
+			sets[method] = set
+		}
 		results[i] = make(map[string]devs, len(configs))
 		for _, cfg := range configs {
 			tspan := bspan.StartSpan("experiments.ground_truth", obs.KV("config", cfg.Name))
@@ -395,18 +430,9 @@ func (st *Study) Table2(configs []cpu.Config) (*Table2Result, error) {
 				if err != nil {
 					return err
 				}
-				est, err := pipeline.ExecutePlan(p, plan, cfg, pipeline.ExecOptions{
-					Warmup:       st.Opts.Warmup,
-					DetailLeadIn: st.Opts.DetailLeadIn,
-					RunAhead:     st.Opts.RunAhead,
-					Obs:          st.Opts.Obs,
-					// The suite already fans out benchmark-wide; keep each
-					// plan's points sequential so the machine is not
-					// oversubscribed, but share the fast-forward cache.
-					Workers: 1,
-					Ctx:     ctx,
-					Cache:   cache,
-				})
+				opts := st.execOpts(ctx, cache)
+				opts.Checkpoints = sets[method]
+				est, err := pipeline.ExecutePlan(p, plan, cfg, opts)
 				if err != nil {
 					return fmt.Errorf("experiments: %s/%s under config %s: %w", pl.Spec.Name, method, cfg.Name, err)
 				}

@@ -1,0 +1,147 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+)
+
+// checkPartition asserts the structural invariants every partition of
+// [0, n) must satisfy: chunks are non-empty, contiguous, ascending and
+// cover every index exactly once.
+func checkPartition(t *testing.T, chunks []Chunk, n int) {
+	t.Helper()
+	if n <= 0 {
+		if chunks != nil {
+			t.Fatalf("partition of %d items: got %v, want nil", n, chunks)
+		}
+		return
+	}
+	if len(chunks) == 0 {
+		t.Fatalf("partition of %d items is empty", n)
+	}
+	cursor := 0
+	for k, c := range chunks {
+		if c.Start != cursor {
+			t.Fatalf("chunk %d starts at %d, want %d (chunks %v)", k, c.Start, cursor, chunks)
+		}
+		if c.Len() <= 0 {
+			t.Fatalf("chunk %d is empty (chunks %v)", k, chunks)
+		}
+		cursor = c.End
+	}
+	if cursor != n {
+		t.Fatalf("partition covers [0,%d), want [0,%d) (chunks %v)", cursor, n, chunks)
+	}
+}
+
+// TestPartitionChunksEmpty: an empty task list partitions to nil, for
+// any worker count and with or without cost models.
+func TestPartitionChunksEmpty(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 8} {
+		if got := PartitionChunks(0, ChunkOptions{Workers: workers}); got != nil {
+			t.Errorf("workers=%d: PartitionChunks(0) = %v, want nil", workers, got)
+		}
+		if got := PartitionChunks(-3, ChunkOptions{Workers: workers}); got != nil {
+			t.Errorf("workers=%d: PartitionChunks(-3) = %v, want nil", workers, got)
+		}
+	}
+	got := PartitionChunks(0, ChunkOptions{
+		Workers:   4,
+		Cost:      func(i int) float64 { t.Fatal("cost queried for empty list"); return 0 },
+		StartCost: func(i int) float64 { t.Fatal("start cost queried for empty list"); return 0 },
+	})
+	if got != nil {
+		t.Errorf("with cost models: PartitionChunks(0) = %v, want nil", got)
+	}
+}
+
+// TestPartitionChunksSingleTask: one task is always exactly one chunk
+// [0,1), regardless of workers, costs or minimum chunk cost.
+func TestPartitionChunksSingleTask(t *testing.T) {
+	opts := []ChunkOptions{
+		{},
+		{Workers: 16},
+		{Workers: 16, Cost: func(int) float64 { return 0 }},
+		{Workers: 16, Cost: func(int) float64 { return math.MaxInt64 }},
+		{Workers: 16, MinChunkCost: 1e18},
+	}
+	for i, opt := range opts {
+		got := PartitionChunks(1, opt)
+		checkPartition(t, got, 1)
+		if len(got) != 1 || got[0] != (Chunk{Start: 0, End: 1}) {
+			t.Errorf("case %d: PartitionChunks(1) = %v, want [{0 1}]", i, got)
+		}
+	}
+}
+
+// TestPartitionChunksAllZeroCosts: a task list whose every item costs
+// zero must still produce a valid cover — no division blowups from the
+// zero total, no empty chunks — and the zero total means splitting can
+// never pay, so one chunk is the expected shape.
+func TestPartitionChunksAllZeroCosts(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100} {
+		got := PartitionChunks(n, ChunkOptions{
+			Workers:      8,
+			Cost:         func(int) float64 { return 0 },
+			StartCost:    func(int) float64 { return 1000 },
+			MinChunkCost: 1,
+		})
+		checkPartition(t, got, n)
+		if len(got) != 1 {
+			t.Errorf("n=%d all-zero costs: %d chunks, want 1 (%v)", n, len(got), got)
+		}
+		// Zero costs with free startup must also stay valid.
+		got = PartitionChunks(n, ChunkOptions{Workers: 8, Cost: func(int) float64 { return 0 }})
+		checkPartition(t, got, n)
+	}
+}
+
+// TestPartitionChunksCostOverflow: per-item costs near MaxInt64 sum
+// far past int64 range; float64 accumulation must neither overflow to
+// +Inf in a way that breaks the cover nor produce NaN targets, and the
+// partition must stay balanced.
+func TestPartitionChunksCostOverflow(t *testing.T) {
+	const n = 64
+	huge := float64(math.MaxInt64) // ~9.2e18; 64 of these ≈ 5.9e20, well past int64
+	got := PartitionChunks(n, ChunkOptions{
+		Workers: 4,
+		Cost:    func(int) float64 { return huge },
+	})
+	checkPartition(t, got, n)
+	if len(got) != 4 {
+		t.Fatalf("uniform huge costs across 4 workers: %d chunks, want 4 (%v)", len(got), got)
+	}
+	for k, c := range got {
+		if c.Len() != n/4 {
+			t.Errorf("chunk %d has %d items, want %d (uniform costs must balance)", k, c.Len(), n/4)
+		}
+	}
+	// A single outlier at MaxInt64 among unit costs: the outlier
+	// dominates the makespan, so the model can never profit from
+	// splitting the cheap remainder — but whatever it picks must cover.
+	got = PartitionChunks(n, ChunkOptions{
+		Workers: 4,
+		Cost: func(i int) float64 {
+			if i == n/2 {
+				return huge
+			}
+			return 1
+		},
+		MinChunkCost: 1 << 21,
+	})
+	checkPartition(t, got, n)
+}
+
+// TestPartitionChunksNegativeCostsClamped: negative estimates are
+// treated as zero, not allowed to corrupt the running totals.
+func TestPartitionChunksNegativeCostsClamped(t *testing.T) {
+	const n = 10
+	got := PartitionChunks(n, ChunkOptions{
+		Workers: 4,
+		Cost:    func(i int) float64 { return -1e18 },
+	})
+	checkPartition(t, got, n)
+	if len(got) != 1 {
+		t.Errorf("all-negative costs: %d chunks, want 1 (zero-cost work never splits)", len(got))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"mlpa/internal/ckpt"
 	"mlpa/internal/cpu"
 	"mlpa/internal/emu"
 	"mlpa/internal/prog"
@@ -91,6 +92,14 @@ func ExecuteFromCheckpoints(p *prog.Program, ck *Checkpoints, cfg cpu.Config) (*
 	if len(ck.States) != len(plan.Points) {
 		return nil, fmt.Errorf("pipeline: %d checkpoints for %d points", len(ck.States), len(plan.Points))
 	}
+	// A set without one live-in mask per point is malformed — silently
+	// skipping the scrub would turn a truncated or stale LiveIns slice
+	// into an unverified replay of unportable state, so it is a hard
+	// error rather than a degraded mode.
+	if len(ck.LiveIns) != len(plan.Points) {
+		return nil, fmt.Errorf("pipeline: %w: %d live-in masks for %d points; every checkpoint must carry its live-in mask",
+			ckpt.ErrMismatch, len(ck.LiveIns), len(plan.Points))
+	}
 	est := &Estimate{
 		Benchmark:       plan.Benchmark,
 		Method:          plan.Method + "+ckpt",
@@ -109,18 +118,16 @@ func ExecuteFromCheckpoints(p *prog.Program, ck *Checkpoints, cfg cpu.Config) (*
 		if m.Insts+ck.Leads[i] != pt.Start {
 			return nil, fmt.Errorf("pipeline: checkpoint %d at instruction %d, point starts at %d (lead %d)", i, m.Insts, pt.Start, ck.Leads[i])
 		}
-		if len(ck.LiveIns) == len(plan.Points) {
-			// Checkpoints carrying live-in metadata replay through it:
-			// scrub every register outside the masks, so any
-			// under-approximation in the static analysis (or a stale
-			// mask) surfaces as a hard divergence in the equivalence
-			// tests instead of silently reading unportable state.
-			li := ck.LiveIns[i]
-			if li.PC != m.PC {
-				return nil, fmt.Errorf("pipeline: checkpoint %d live-in recorded at pc %d, state restores to pc %d", i, li.PC, m.PC)
-			}
-			scrubDeadRegs(m, li)
+		// Checkpoints replay through their live-in metadata: scrub every
+		// register outside the masks, so any under-approximation in the
+		// static analysis (or a stale mask) surfaces as a hard divergence
+		// in the equivalence tests instead of silently reading unportable
+		// state.
+		li := ck.LiveIns[i]
+		if li.PC != m.PC {
+			return nil, fmt.Errorf("pipeline: checkpoint %d live-in recorded at pc %d, state restores to pc %d", i, li.PC, m.PC)
 		}
+		scrubDeadRegs(m, li)
 		sim, err := cpu.New(cfg)
 		if err != nil {
 			return nil, err

@@ -2,10 +2,12 @@ package pipeline
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
 	"mlpa/internal/bench"
+	"mlpa/internal/ckpt"
 	"mlpa/internal/config"
 	"mlpa/internal/obs"
 	"mlpa/internal/simpoint"
@@ -152,10 +154,20 @@ func TestCheckpointLiveIns(t *testing.T) {
 	}
 	ck.LiveIns[0].PC--
 
-	// Checkpoints without live-in metadata (older producers, hand-built
-	// fixtures) still replay.
+	// Checkpoints without one live-in mask per point are malformed: the
+	// scrub is the replay's verification step, so a missing or truncated
+	// LiveIns slice is a hard ErrMismatch, never a silent unscrubbed
+	// replay.
 	ck.LiveIns = nil
-	if _, err := ExecuteFromCheckpoints(p, ck, config.BaseA()); err != nil {
-		t.Errorf("live-in-free checkpoints failed: %v", err)
+	if _, err := ExecuteFromCheckpoints(p, ck, config.BaseA()); !errors.Is(err, ckpt.ErrMismatch) {
+		t.Errorf("live-in-free checkpoints: got %v, want ckpt.ErrMismatch", err)
+	}
+	ck, err = MakeCheckpoints(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.LiveIns = ck.LiveIns[:len(ck.LiveIns)-1]
+	if _, err := ExecuteFromCheckpoints(p, ck, config.BaseA()); !errors.Is(err, ckpt.ErrMismatch) {
+		t.Errorf("truncated live-ins: got %v, want ckpt.ErrMismatch", err)
 	}
 }

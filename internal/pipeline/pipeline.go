@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"time"
 
+	"mlpa/internal/ckpt"
 	"mlpa/internal/cpu"
 	"mlpa/internal/emu"
 	"mlpa/internal/obs"
@@ -96,6 +97,20 @@ type ExecOptions struct {
 	// on the whole benchmark suite, and the property that makes live-in
 	// masks a safe storage schema for portable checkpoints.
 	ScrubDeadRegs bool
+
+	// Checkpoints, when non-nil, switches ExecutePlan to checkpoint-
+	// backed execution: instead of fast-forwarding to each point's warm
+	// start, the scheduler restores the point's machine from the set in
+	// O(checkpoint size). Fast-forward is thereby paid once per
+	// (program, plan, warm policy) — by BuildCheckpointSet or a loaded
+	// ckpt.Set — and every subsequent configuration evaluation reuses
+	// it. Liveness soundness makes the restored (live-in-scrubbed,
+	// touched-pages-only) state architecturally indistinguishable from
+	// the fast-forwarded machine, so estimates, point records and
+	// journals stay bit-identical to from-scratch execution at every
+	// worker count. The set must match this program, plan and warm
+	// policy; a mismatch fails with an error wrapping ckpt.ErrMismatch.
+	Checkpoints *ckpt.Set
 }
 
 // PointRecord is the observable outcome of one executed simulation
@@ -393,6 +408,13 @@ func ExecutePlan(p *prog.Program, plan *sampling.Plan, cfg cpu.Config, opts Exec
 	if err != nil {
 		return nil, err
 	}
+	if opts.Checkpoints != nil {
+		// A stale or foreign set must fail loudly up front, not silently
+		// produce estimates for a different program, plan or warm policy.
+		if err := opts.Checkpoints.Match(p, plan, ckptPolicy(opts)); err != nil {
+			return nil, fmt.Errorf("pipeline: checkpoint set for %s/%s: %w", plan.Benchmark, plan.Method, err)
+		}
+	}
 	ctx := opts.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -482,6 +504,12 @@ const (
 	// work (~2M fast-forward-instruction equivalents), so the scheduler
 	// never splits below what a checkpoint restore costs to set up.
 	minChunkCost = 1 << 21
+	// ckptRestoreCost is the chunk-startup estimate under checkpoint-
+	// backed execution, in the same fast-forward-instruction units:
+	// decoding registers plus replaying the touched pages of a typical
+	// state is on the order of a few tens of microseconds, ~64k
+	// fast-forwarded instructions.
+	ckptRestoreCost = 1 << 16
 )
 
 // taskCost estimates one point's execution cost for the partitioner.
@@ -504,14 +532,24 @@ func taskCost(t pointTask, ptLen uint64) float64 {
 // sequential schedule instead of a guaranteed loss. Results are
 // bit-identical for every partition, so the clamp affects wall time
 // only.
-func planPartition(plan *sampling.Plan, tasks []pointTask, workers int) []parallel.Chunk {
+func planPartition(plan *sampling.Plan, tasks []pointTask, workers int, ckptBacked bool) []parallel.Chunk {
 	if g := runtime.GOMAXPROCS(0); workers > g {
 		workers = g
+	}
+	startCost := func(i int) float64 { return float64(tasks[i].warmStart) }
+	if ckptBacked {
+		// Checkpoint restore replaces the fast-forward to the chunk's
+		// first warm start with an O(checkpoint size) state load, so
+		// chunk startup is a small constant instead of proportional to
+		// the warm-start position. This frees the partitioner to open
+		// more chunks for deep-in-the-program plans — exactly the plans
+		// plain fast-forward keeps nearly sequential.
+		startCost = func(int) float64 { return ckptRestoreCost }
 	}
 	return parallel.PartitionChunks(len(plan.Points), parallel.ChunkOptions{
 		Workers:      workers,
 		Cost:         func(i int) float64 { return taskCost(tasks[i], plan.Points[i].Len()) },
-		StartCost:    func(i int) float64 { return float64(tasks[i].warmStart) },
+		StartCost:    startCost,
 		MinChunkCost: minChunkCost,
 	})
 }
@@ -525,7 +563,7 @@ func PlanChunks(plan *sampling.Plan, opts ExecOptions, workers int) (int, error)
 	if err != nil {
 		return 0, err
 	}
-	return len(planPartition(plan, tasks, workers)), nil
+	return len(planPartition(plan, tasks, workers, opts.Checkpoints != nil)), nil
 }
 
 // executePoints runs the points through the cost-aware chunk
@@ -545,7 +583,8 @@ func executePoints(ctx context.Context, p *prog.Program, plan *sampling.Plan, cf
 	if cache == nil || cache.Program() != p {
 		cache = parallel.NewStateCache(p, 0, reg)
 	}
-	chunks := planPartition(plan, tasks, workers)
+	set := opts.Checkpoints
+	chunks := planPartition(plan, tasks, workers, set != nil)
 	reg.Gauge("pipeline.plan_chunks").Set(float64(len(chunks)))
 	stage := opts.Obs.Progress().Stage("pipeline.points")
 	stage.AddTotal(int64(len(plan.Points)))
@@ -557,7 +596,29 @@ func executePoints(ctx context.Context, p *prog.Program, plan *sampling.Plan, cf
 			}
 			task := tasks[pi]
 			t0 := time.Now()
-			if m == nil || m.Insts > task.warmStart {
+			if set != nil && (m == nil || m.Insts != task.warmStart) {
+				// Checkpoint-backed: restore the point's warm-start state
+				// in O(checkpoint size) instead of fast-forwarding from
+				// program start. Chaining within a chunk still applies —
+				// a machine already sitting exactly at the warm start
+				// (planTasks' cursor invariant) is reused as-is, so the
+				// restored path does strictly less functional work.
+				// After the chunk's first point the machine is restored
+				// in place: NewMachine leaves dirty-page tracking on, so
+				// RestoreInto resets memory in O(touched pages) instead
+				// of paying a fresh memory image per point.
+				var err error
+				if m == nil {
+					m, err = set.States[pi].NewMachine(p)
+				} else {
+					err = set.States[pi].RestoreInto(m)
+				}
+				if err != nil {
+					return fmt.Errorf("pipeline: checkpoint restore of point %d in %s: %w", pi, plan.Benchmark, err)
+				}
+				m.Metrics = reg
+				reg.Counter("pipeline.ckpt_restores").Add(1)
+			} else if m == nil || m.Insts > task.warmStart {
 				// First point of the chunk (or, defensively, a machine
 				// past the cursor): materialize from the shared cache,
 				// publishing the chunk-start state for other executions.

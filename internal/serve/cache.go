@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"mlpa/internal/bench"
+	"mlpa/internal/ckpt"
 	"mlpa/internal/obs"
 	"mlpa/internal/parallel"
 	"mlpa/internal/pipeline"
@@ -103,6 +104,90 @@ func (c *resultCache) evictLocked() {
 			c.bytes -= int64(len(e.body))
 			delete(c.entries, key)
 			c.reg.Counter("serve.cache.evictions").Inc()
+		}
+	}
+}
+
+// Checkpoint dispositions reported in the X-Mlpa-Ckpt response header
+// (estimate cache misses only: replayed and coalesced responses did no
+// checkpoint work).
+const (
+	ckptBuild = "build" // this request built the plan's checkpoint set
+	ckptReuse = "reuse" // the set already existed (or was being built)
+)
+
+// ckptCache stores built checkpoint sets under the plan-identity key —
+// program content hash plus the plan-determining request fields, the
+// config excluded — with single-flight construction: at most one
+// builder runs per key and every waiter shares its set. Failed builds
+// are not cached. Entries are bounded FIFO like the result cache.
+type ckptCache struct {
+	reg *obs.Registry
+	max int
+
+	mu      sync.Mutex
+	entries map[string]*ckptEntry
+	order   []string
+	bytes   int64
+}
+
+type ckptEntry struct {
+	done chan struct{}
+	set  *ckpt.Set
+	err  error
+}
+
+func newCkptCache(max int, reg *obs.Registry) *ckptCache {
+	return &ckptCache{reg: reg, max: max, entries: make(map[string]*ckptEntry)}
+}
+
+// get returns the checkpoint set for key, building it single-flight.
+// The disposition is ckptBuild when this caller ran the build and
+// ckptReuse when the set already existed or another builder's result
+// was shared. The context bounds only this caller's wait on a build in
+// flight elsewhere.
+func (c *ckptCache) get(ctx context.Context, key string, build func() (*ckpt.Set, error)) (*ckpt.Set, string, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.reg.Counter("serve.ckpt.reuses").Inc()
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, ckptReuse, fmt.Errorf("waiting for in-flight checkpoint build: %w", ctx.Err())
+		}
+		return e.set, ckptReuse, e.err
+	}
+	e := &ckptEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.reg.Counter("serve.ckpt.builds").Inc()
+
+	e.set, e.err = build()
+	close(e.done)
+
+	c.mu.Lock()
+	if e.err != nil {
+		delete(c.entries, key)
+	} else {
+		c.order = append(c.order, key)
+		c.bytes += int64(e.set.ApproxBytes())
+		c.evictLocked()
+		c.reg.Gauge("serve.ckpt.entries").Set(float64(len(c.entries)))
+		c.reg.Gauge("serve.ckpt.bytes").Set(float64(c.bytes))
+	}
+	c.mu.Unlock()
+	return e.set, ckptBuild, e.err
+}
+
+func (c *ckptCache) evictLocked() {
+	for c.max > 0 && len(c.order) > c.max {
+		key := c.order[0]
+		c.order = c.order[1:]
+		if e, ok := c.entries[key]; ok {
+			c.bytes -= int64(e.set.ApproxBytes())
+			delete(c.entries, key)
+			c.reg.Counter("serve.ckpt.evictions").Inc()
 		}
 	}
 }

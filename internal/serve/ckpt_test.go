@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"mlpa/internal/obs"
+)
+
+// estBody is asmBody with an explicit config.
+func estBody(method, cfg string, seed int64) string {
+	return fmt.Sprintf(`{"assembly": %q, "method": %q, "config": %q, "seed": %d}`, testAsm, method, cfg, seed)
+}
+
+// TestCkptReuseAcrossConfigs is the acceptance test for checkpoint-
+// backed sweeps over the wire: the first estimate of a plan builds its
+// checkpoint set (X-Mlpa-Ckpt: build), a repeat estimate with a NEW
+// config — a different response cache key, so a real computation —
+// reuses the set (X-Mlpa-Ckpt: reuse) and skips fast-forward, and a
+// byte-replay of a completed response carries no checkpoint header at
+// all (no checkpoint work happened).
+func TestCkptReuseAcrossConfigs(t *testing.T) {
+	rt := obs.New(nil)
+	_, ts := newTestServer(t, Options{Obs: rt})
+	reg := rt.Metrics()
+
+	respA, bodyA := post(t, ts.URL+"/v1/estimate", estBody("multilevel", "A", 1))
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("config A: status %d: %s", respA.StatusCode, bodyA)
+	}
+	if got := respA.Header.Get("X-Mlpa-Ckpt"); got != ckptBuild {
+		t.Errorf("first estimate: X-Mlpa-Ckpt = %q, want %q", got, ckptBuild)
+	}
+
+	respB, bodyB := post(t, ts.URL+"/v1/estimate", estBody("multilevel", "B", 1))
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("config B: status %d: %s", respB.StatusCode, bodyB)
+	}
+	if got := respB.Header.Get("X-Mlpa-Cache"); got != dispMiss {
+		t.Fatalf("config B should be a fresh computation, got disposition %q", got)
+	}
+	if got := respB.Header.Get("X-Mlpa-Ckpt"); got != ckptReuse {
+		t.Errorf("new-config estimate: X-Mlpa-Ckpt = %q, want %q", got, ckptReuse)
+	}
+	if got := reg.Counter("serve.ckpt.builds").Value(); got != 1 {
+		t.Errorf("serve.ckpt.builds = %d, want 1 (one set serves both configs)", got)
+	}
+	if got := reg.Counter("serve.ckpt.reuses").Value(); got < 1 {
+		t.Errorf("serve.ckpt.reuses = %d, want >= 1", got)
+	}
+
+	// The two configs must still disagree on the metrics themselves —
+	// reuse shares functional state, not results.
+	var a, b struct {
+		CPI float64 `json:"cpi"`
+	}
+	if err := json.Unmarshal(bodyA, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyB, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.CPI == b.CPI {
+		t.Errorf("configs A and B produced identical CPI %v; sensitivity sweep is not sweeping", a.CPI)
+	}
+
+	// Replay of config A: served from the response cache byte-for-byte,
+	// no computation, so no checkpoint disposition either.
+	respA2, bodyA2 := post(t, ts.URL+"/v1/estimate", estBody("multilevel", "A", 1))
+	if got := respA2.Header.Get("X-Mlpa-Cache"); got != dispHit {
+		t.Fatalf("replay disposition %q, want %q", got, dispHit)
+	}
+	if got := respA2.Header.Get("X-Mlpa-Ckpt"); got != "" {
+		t.Errorf("replay carries X-Mlpa-Ckpt %q, want none", got)
+	}
+	if string(bodyA2) != string(bodyA) {
+		t.Error("replayed body differs from original")
+	}
+
+	// A different seed selects a different plan → a different set.
+	resp3, body3 := post(t, ts.URL+"/v1/estimate", estBody("multilevel", "A", 2))
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("seed 2: status %d: %s", resp3.StatusCode, body3)
+	}
+	if got := resp3.Header.Get("X-Mlpa-Ckpt"); got != ckptBuild {
+		t.Errorf("new-plan estimate: X-Mlpa-Ckpt = %q, want %q", got, ckptBuild)
+	}
+	if got := reg.Counter("serve.ckpt.builds").Value(); got != 2 {
+		t.Errorf("serve.ckpt.builds = %d, want 2", got)
+	}
+}

@@ -35,10 +35,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"strings"
 
 	"mlpa/internal/bench"
+	"mlpa/internal/ckpt"
 	"mlpa/internal/coasts"
 	"mlpa/internal/multilevel"
 	"mlpa/internal/pipeline"
@@ -188,16 +188,12 @@ func parseSize(s string) (bench.Size, error) {
 // progHash is the content hash of a guest program: SHA-256 over its
 // name, data size and complete disassembly. Two programs with equal
 // hashes produce identical analyses, plans and estimates, which is
-// what makes the hash a sound result-cache key component.
+// what makes the hash a sound result-cache key component. The
+// definition lives in internal/ckpt, so the hash a checkpoint set
+// binds its program identity to and the hash this service caches
+// under can never drift apart.
 func progHash(p *prog.Program) string {
-	h := sha256.New()
-	h.Write([]byte("mlpa-program\x00"))
-	h.Write([]byte(p.Name))
-	h.Write([]byte{0})
-	h.Write([]byte(strconv.FormatInt(p.DataSize, 10)))
-	h.Write([]byte{0})
-	h.Write([]byte(p.Disassemble()))
-	return hex.EncodeToString(h.Sum(nil))
+	return ckpt.ProgramHash(p)
 }
 
 // cacheKey is the canonicalized request a result is cached under. Only
@@ -237,6 +233,11 @@ func keyFor(endpoint, programHash string, req Request) cacheKey {
 		k.Method, k.Seed, k.Interval = req.Method, req.Seed, req.IntervalLen
 	case "estimate":
 		k.Method, k.Config, k.Seed, k.Interval = req.Method, req.Config, req.Seed, req.IntervalLen
+	case "ckpt":
+		// Checkpoint sets capture configuration-independent architectural
+		// state, so the config is deliberately absent: every sensitivity
+		// config of the same plan shares one set.
+		k.Method, k.Seed, k.Interval = req.Method, req.Seed, req.IntervalLen
 	}
 	return k
 }

@@ -5,13 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"net/http"
 	"sync"
 	"time"
 
 	"mlpa/internal/bench"
+	"mlpa/internal/ckpt"
 	"mlpa/internal/coasts"
 	"mlpa/internal/config"
 	"mlpa/internal/multilevel"
@@ -29,10 +29,15 @@ import (
 // must not vary per request or per deployment without invalidating the
 // content-hash cache semantics.
 const (
-	// execWarmup enables continuous functional warming: the warm window
-	// extends back as far as needed, which the determinism tests pin as
-	// bit-identical across worker counts.
-	execWarmup = math.MaxUint64
+	// execWarmup is the functional-warming window per point (64k
+	// instructions, generous next to the service's tiny/small guests).
+	// It is finite so every point has a warm start strictly inside the
+	// program: that is what lets checkpoint sets replace the functional
+	// fast-forward to each point — an unbounded window would pin every
+	// warm start to instruction zero and leave nothing for a checkpoint
+	// to skip. Like every policy constant it is part of the service
+	// contract: changing it changes response bits and the goldens.
+	execWarmup = 1 << 16
 	// execDetailLeadIn is the detailed-mode lead-in discarded before
 	// each point's measurement.
 	execDetailLeadIn = 512
@@ -78,6 +83,12 @@ type Options struct {
 
 	// MaxCachedPrograms bounds the program registry (default 64).
 	MaxCachedPrograms int
+
+	// MaxCachedCkptSets bounds the checkpoint-set cache entry count
+	// (default 64). One entry holds a whole plan's portable checkpoints
+	// — the fast-forward work every config evaluation of that plan
+	// would otherwise re-pay.
+	MaxCachedCkptSets int
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +113,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxCachedPrograms == 0 {
 		o.MaxCachedPrograms = 64
 	}
+	if o.MaxCachedCkptSets == 0 {
+		o.MaxCachedCkptSets = 64
+	}
 	return o
 }
 
@@ -114,6 +128,7 @@ type Server struct {
 	pool     *parallel.Pool
 	results  *resultCache
 	programs *programCache
+	ckpts    *ckptCache
 
 	gate *gate
 
@@ -153,6 +168,7 @@ func New(o Options) *Server {
 		pool:       parallel.NewPool(o.MaxConcurrent, reg),
 		results:    newResultCache(o.MaxCachedResults, reg),
 		programs:   newProgramCache(o.MaxCachedPrograms, o.MaxProgramCode, reg),
+		ckpts:      newCkptCache(o.MaxCachedCkptSets, reg),
 		gate:       newGate(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -246,8 +262,14 @@ func (s *Server) handle(endpoint string, w http.ResponseWriter, r *http.Request)
 	waitCtx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
 	key := keyFor(endpoint, entry.hash, req).hash()
+	// ckptDisp is a side channel out of the computation closure: when
+	// this request is the leader of an estimate computation, it reports
+	// whether the plan's checkpoint set was built or reused. Coalesced
+	// and replayed requests did no checkpoint work, so they carry no
+	// X-Mlpa-Ckpt header.
+	var ckptDisp string
 	body, disp, ae := s.results.do(waitCtx, key, func() ([]byte, *apiError) {
-		return s.compute(endpoint, entry, req)
+		return s.compute(endpoint, entry, req, &ckptDisp)
 	})
 	if ae != nil {
 		s.writeError(w, ae)
@@ -256,13 +278,16 @@ func (s *Server) handle(endpoint string, w http.ResponseWriter, r *http.Request)
 	s.reg.Counter("serve.responses.ok").Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Mlpa-Cache", disp)
+	if disp == dispMiss && ckptDisp != "" {
+		w.Header().Set("X-Mlpa-Ckpt", ckptDisp)
+	}
 	w.Write(body)
 }
 
 // compute executes one cache miss end to end. It runs inside the
 // leader request's goroutine but under the server's base context, so
 // coalesced waiters are not aborted by the leader hanging up.
-func (s *Server) compute(endpoint string, e *programEntry, req Request) ([]byte, *apiError) {
+func (s *Server) compute(endpoint string, e *programEntry, req Request, ckptDisp *string) ([]byte, *apiError) {
 	if s.testHookComputeStart != nil {
 		s.testHookComputeStart(endpoint)
 	}
@@ -280,7 +305,7 @@ func (s *Server) compute(endpoint string, e *programEntry, req Request) ([]byte,
 	case "plan":
 		return s.computePlan(e, req)
 	case "estimate":
-		return s.computeEstimate(ctx, e, req)
+		return s.computeEstimate(ctx, e, req, ckptDisp)
 	}
 	return nil, &apiError{Status: http.StatusInternalServerError, Code: codeInternal,
 		Message: "unknown endpoint " + endpoint}
@@ -358,7 +383,7 @@ func (s *Server) computePlan(e *programEntry, req Request) ([]byte, *apiError) {
 	return b, nil
 }
 
-func (s *Server) computeEstimate(ctx context.Context, e *programEntry, req Request) ([]byte, *apiError) {
+func (s *Server) computeEstimate(ctx context.Context, e *programEntry, req Request, ckptDisp *string) ([]byte, *apiError) {
 	plan, _, _, ae := s.selectFor(e, req)
 	if ae != nil {
 		return nil, ae
@@ -367,8 +392,23 @@ func (s *Server) computeEstimate(ctx context.Context, e *programEntry, req Reque
 	if err != nil {
 		return nil, badRequest(codeBadField, "%v", err)
 	}
+	// The checkpoint set depends on the plan, never on the config, so
+	// its key is the estimate key with the config dropped: a repeat
+	// estimate under a new config reuses the set and skips fast-forward
+	// entirely. Results are bit-identical either way (the pipeline's
+	// differential harness), so the cache can only change wall time.
+	ckey := keyFor("ckpt", e.hash, req).hash()
+	set, disp, err := s.ckpts.get(ctx, ckey, func() (*ckpt.Set, error) {
+		return pipeline.BuildCheckpointSet(e.prog, plan, s.execOptions(ctx, e))
+	})
+	if err != nil {
+		return nil, asAPIError(err)
+	}
+	*ckptDisp = disp
 	s.reg.Counter("serve.executions").Inc()
-	est, err := pipeline.ExecutePlan(e.prog, plan, cfg, s.execOptions(ctx, e))
+	opts := s.execOptions(ctx, e)
+	opts.Checkpoints = set
+	est, err := pipeline.ExecutePlan(e.prog, plan, cfg, opts)
 	if err != nil {
 		return nil, asAPIError(err)
 	}
